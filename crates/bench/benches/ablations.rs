@@ -1,0 +1,124 @@
+//! A1–A3 — design-choice ablations called out in DESIGN.md:
+//!
+//! * detection model variants (paper approximation vs attack-inclusive vs
+//!   operational recourse);
+//! * greedy vs exhaustive CGGS pricing oracle;
+//! * action deduplication on/off for the Rea-A-shaped master;
+//! * common-random-numbers: cost of regenerating banks per evaluation.
+
+use audit_game::cggs::{Cggs, CggsConfig, OracleKind};
+use audit_game::datasets::{random_game, syn_a_with_budget, RandomGameConfig};
+use audit_game::detection::{DetectionEstimator, DetectionModel};
+use audit_game::master::MasterSolver;
+use audit_game::ordering::AuditOrder;
+use audit_game::payoff::PayoffMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SAMPLES: usize = 200;
+
+fn bench_detection_models(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let order = AuditOrder::identity(4);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+
+    let mut group = c.benchmark_group("ablation_detection");
+    for (name, model) in [
+        ("paper_approx", DetectionModel::PaperApprox),
+        ("attack_inclusive", DetectionModel::AttackInclusive),
+        ("operational", DetectionModel::Operational),
+    ] {
+        let est = DetectionEstimator::new(&spec, &bank, model);
+        group.bench_function(name, |b| b.iter(|| est.pal(&order, &thresholds)));
+    }
+    group.finish();
+}
+
+fn bench_oracle_kinds(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+
+    let mut group = c.benchmark_group("ablation_oracle");
+    group.sample_size(20);
+    for (name, oracle) in [
+        ("greedy", OracleKind::Greedy),
+        ("exhaustive", OracleKind::Exhaustive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &oracle, |b, &oracle| {
+            b.iter(|| {
+                Cggs::new(CggsConfig { oracle, ..Default::default() })
+                    .solve(&spec, &est, &thresholds)
+                    .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup_actions(c: &mut Criterion) {
+    // Rea-A-shaped: many victims per attacker sharing few alert signatures.
+    let cfg = RandomGameConfig {
+        n_types: 5,
+        n_attackers: 20,
+        n_victims: 40,
+        budget: 10.0,
+        allow_opt_out: true,
+        benign_prob: 0.2,
+    };
+    let raw = random_game(&cfg, 3);
+    let deduped = raw.dedup_actions();
+
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    for (name, spec) in [("raw_800_actions", &raw), ("deduped", &deduped)] {
+        let bank = spec.sample_bank(SAMPLES, 0);
+        let est = DetectionEstimator::new(spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = spec.threshold_upper_bounds();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let m = PayoffMatrix::build(
+                    spec,
+                    &est,
+                    AuditOrder::enumerate_all(5),
+                    &thresholds,
+                );
+                MasterSolver::solve(spec, &m).expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crn_bank_reuse(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let order = AuditOrder::identity(4);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+
+    let mut group = c.benchmark_group("ablation_crn");
+    let bank = spec.sample_bank(SAMPLES, 0);
+    group.bench_function("frozen_bank_eval", |b| {
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        b.iter(|| est.pal(&order, &thresholds))
+    });
+    group.bench_function("fresh_bank_per_eval", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let bank = spec.sample_bank(SAMPLES, seed);
+            let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+            est.pal(&order, &thresholds)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection_models,
+    bench_oracle_kinds,
+    bench_dedup_actions,
+    bench_crn_bank_reuse
+);
+criterion_main!(benches);

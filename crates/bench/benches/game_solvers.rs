@@ -1,0 +1,84 @@
+//! P2/P3 — solver pipeline costs on Syn A: exact master vs CGGS, ISHM
+//! sweeps per step size, and one brute-force point.
+
+use audit_game::brute_force::solve_brute_force;
+use audit_game::cggs::Cggs;
+use audit_game::datasets::syn_a_with_budget;
+use audit_game::detection::{DetectionEstimator, DetectionModel};
+use audit_game::ishm::{ExactEvaluator, Ishm, IshmConfig};
+use audit_game::master::MasterSolver;
+use audit_game::ordering::AuditOrder;
+use audit_game::payoff::PayoffMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SAMPLES: usize = 200;
+
+fn bench_master_exact_vs_cggs(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+    let all_orders = AuditOrder::enumerate_all(4);
+
+    let mut group = c.benchmark_group("master_solve");
+    group.sample_size(20);
+    group.bench_function("exact_all_24_orders", |b| {
+        b.iter(|| {
+            let m = PayoffMatrix::build(&spec, &est, all_orders.clone(), &thresholds);
+            MasterSolver::solve(&spec, &m).expect("solves")
+        })
+    });
+    group.bench_function("cggs_column_generation", |b| {
+        b.iter(|| Cggs::default().solve(&spec, &est, &thresholds).expect("solves"))
+    });
+    group.bench_function("primal_orientation_cross_check", |b| {
+        b.iter(|| {
+            let m = PayoffMatrix::build(&spec, &est, all_orders.clone(), &thresholds);
+            MasterSolver::solve_primal(&spec, &m).expect("solves")
+        })
+    });
+    group.finish();
+}
+
+fn bench_ishm_epsilon(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+
+    let mut group = c.benchmark_group("ishm_sweep");
+    group.sample_size(10);
+    for &eps in &[0.1f64, 0.25, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut eval = ExactEvaluator::new(&spec, est);
+                Ishm::new(IshmConfig { epsilon: eps, ..Default::default() })
+                    .solve(&spec, &mut eval)
+                    .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force_point(c: &mut Criterion) {
+    let spec = syn_a_with_budget(2.0);
+    // Smaller bank: brute force scans 7680 lattice points per iteration.
+    let bank = spec.sample_bank(50, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let orders = AuditOrder::enumerate_all(4);
+
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    group.bench_function("syn_a_b2_50_samples", |b| {
+        b.iter(|| solve_brute_force(&spec, &est, &orders).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_master_exact_vs_cggs,
+    bench_ishm_epsilon,
+    bench_brute_force_point
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! P1 — LP solver scaling: random covering LPs and game-shaped master LPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_solver::{Problem, Relation, Sense};
+use rand::Rng;
+use stochastics::seeded_rng;
+
+/// Random covering LP: min cᵀx s.t. Ax ≥ b, x ≥ 0 (feasible & bounded).
+fn covering_lp(n: usize, m: usize, seed: u64) -> Problem {
+    let mut rng = seeded_rng(seed);
+    let mut p = Problem::new(Sense::Minimize);
+    let xs: Vec<_> = (0..n)
+        .map(|j| p.add_var(format!("x{j}"), rng.gen_range(0.1..5.0), 0.0, f64::INFINITY))
+        .collect();
+    for i in 0..m {
+        let terms: Vec<_> = xs
+            .iter()
+            .map(|&x| (x, rng.gen_range(0.1..3.0)))
+            .collect();
+        p.add_constraint(format!("r{i}"), terms, Relation::Ge, rng.gen_range(1.0..20.0));
+    }
+    p
+}
+
+/// Game-shaped master LP: max μ with a mass row per attacker and a value
+/// row per order (the shape CGGS solves thousands of times).
+fn game_lp(n_attackers: usize, n_actions_per: usize, n_orders: usize, seed: u64) -> Problem {
+    let mut rng = seeded_rng(seed);
+    let mut p = Problem::new(Sense::Maximize);
+    let mu = p.add_free_var("mu", 1.0);
+    let ys: Vec<Vec<_>> = (0..n_attackers)
+        .map(|e| {
+            (0..n_actions_per)
+                .map(|a| p.add_var(format!("y{e}_{a}"), 0.0, 0.0, f64::INFINITY))
+                .collect()
+        })
+        .collect();
+    for (e, row) in ys.iter().enumerate() {
+        p.add_constraint(
+            format!("mass{e}"),
+            row.iter().map(|&y| (y, 1.0)).collect(),
+            Relation::Eq,
+            1.0,
+        );
+    }
+    for o in 0..n_orders {
+        let mut terms = vec![(mu, 1.0)];
+        for row in &ys {
+            for &y in row {
+                terms.push((y, -rng.gen_range(-5.0..5.0)));
+            }
+        }
+        p.add_constraint(format!("order{o}"), terms, Relation::Le, 0.0);
+    }
+    p
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_covering");
+    group.sample_size(20);
+    for &(n, m) in &[(10usize, 8usize), (30, 20), (80, 50)] {
+        let p = covering_lp(n, m, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &p, |b, p| {
+            b.iter(|| p.solve().expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_game_master");
+    group.sample_size(20);
+    for &(e, a, o) in &[(5usize, 8usize, 24usize), (50, 8, 24), (50, 8, 64)] {
+        let p = game_lp(e, a, o, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("E{e}_A{a}_O{o}")),
+            &p,
+            |b, p| b.iter(|| p.solve().expect("solvable")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covering, bench_game_shape);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Substrate throughput: EMR world/workload simulation, credit batch
+//! synthesis, TDMT labelling, and sample-bank generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emrsim::world::{Hospital, HospitalConfig};
+use emrsim::workload::{WorkloadConfig, WorkloadGenerator};
+use stochastics::{DiscretizedGaussian, SampleBank};
+
+fn bench_emr_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emr_world");
+    group.sample_size(10);
+    group.bench_function("generate_200x800", |b| {
+        b.iter(|| {
+            Hospital::generate(
+                HospitalConfig {
+                    n_employees: 200,
+                    n_patients: 800,
+                    pool_size: 300,
+                    benign_pool_size: 500,
+                    ..Default::default()
+                },
+                7,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_emr_workload(c: &mut Criterion) {
+    let hospital = Hospital::generate(
+        HospitalConfig {
+            n_employees: 200,
+            n_patients: 800,
+            pool_size: 500,
+            benign_pool_size: 1000,
+            ..Default::default()
+        },
+        7,
+    );
+    let engine = Hospital::rule_engine();
+    let generator = WorkloadGenerator::new(
+        &hospital,
+        WorkloadConfig { n_days: 7, benign_per_day: 1000, repeat_fraction: 0.5 },
+    );
+
+    let mut group = c.benchmark_group("emr_workload");
+    group.sample_size(10);
+    group.bench_function("simulate_week", |b| b.iter(|| generator.generate(11)));
+    let mut log = generator.generate(11);
+    log.dedup_daily();
+    group.bench_function("label_week", |b| {
+        b.iter(|| log.daily_alert_counts(&engine, |_, _| {}))
+    });
+    group.finish();
+}
+
+fn bench_credit_batch(c: &mut Criterion) {
+    let cfg = creditsim::synth::SynthConfig::default();
+    let mut group = c.benchmark_group("credit_batch");
+    group.bench_function("generate_1000_apps", |b| {
+        b.iter(|| creditsim::synth::generate_applications(&cfg, 3))
+    });
+    group.finish();
+}
+
+fn bench_sample_bank(c: &mut Criterion) {
+    let dists: Vec<Box<dyn stochastics::CountDistribution>> = (0..7)
+        .map(|t| {
+            let d: Box<dyn stochastics::CountDistribution> = Box::new(
+                DiscretizedGaussian::with_halfwidth(20.0 + t as f64 * 10.0, 5.0, 15),
+            );
+            d
+        })
+        .collect();
+    let mut group = c.benchmark_group("sample_bank");
+    group.bench_function("bank_400x7", |b| {
+        b.iter(|| SampleBank::generate(&dists, 400, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_emr_world,
+    bench_emr_workload,
+    bench_credit_batch,
+    bench_sample_bank
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Run every experiment back to back (the full EXPERIMENTS.md regeneration).
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_all [--quick]
+//! ```
+//!
+//! `--quick` shrinks grids so the whole suite finishes in a few minutes on
+//! one core — useful as a smoke test; drop it for the full paper grids.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    eprintln!("\n=== {bin} {} ===", args.join(" "));
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let status = Command::new(dir.join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        let b = "2,8,14,20";
+        let e = "0.1,0.3,0.5";
+        run("exp_table3", &[b]);
+        run("exp_table4", &[b, e]);
+        run("exp_table5", &[b, e]);
+        run("exp_table6", &[b, e]);
+        run("exp_table7", &[b, e]);
+        run("exp_exploration", &[b, e]);
+        run("exp_fig1", &["20,60,100"]);
+        run("exp_fig2", &["10,130,250"]);
+        run("exp_hardness", &["8"]);
+    } else {
+        run("exp_table3", &[]);
+        run("exp_table4", &[]);
+        run("exp_table5", &[]);
+        run("exp_table6", &[]);
+        run("exp_table7", &[]);
+        run("exp_exploration", &[]);
+        run("exp_fig1", &[]);
+        run("exp_fig2", &[]);
+        run("exp_hardness", &[]);
+    }
+    eprintln!("\nall experiments completed");
+}

@@ -1,0 +1,36 @@
+//! Experiment E6 — Section IV.C exploration summary: the `T` vector (mean
+//! thresholds explored per ε over the budget grid) and the `T'` ratio
+//! against the exhaustive lattice of 7680 vectors.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_exploration [budgets] [epsilons]
+//! ```
+
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::report::Table;
+use audit_bench::syn_experiments::{exploration_summary, ishm_grid};
+
+fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
+    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
+    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
+    eprintln!("Section IV.C exploration vectors T and T'");
+    let t0 = std::time::Instant::now();
+    let grid = ishm_grid(&budgets, &epsilons, false, SYN_SAMPLES, SEED).expect("grid");
+    let summary = exploration_summary(&grid);
+
+    let mut table = Table::new(vec!["eps", "T (mean explored)", "T' (ratio of lattice)"]);
+    for (eps, mean, ratio) in summary {
+        table.row(vec![
+            format!("{eps}"),
+            format!("{mean:.0}"),
+            format!("{ratio:.4}"),
+        ]);
+    }
+    println!("{}", table.render());
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

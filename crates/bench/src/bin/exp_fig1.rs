@@ -1,0 +1,43 @@
+//! Experiment E7 — paper Figure 1: auditor's loss on Rea A (EMR access
+//! alerts) across budgets 10..=100 for the proposed model (ε ∈
+//! {0.1, 0.2, 0.3}) and the three baselines.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_fig1 [budgets] [--small]
+//! ```
+//!
+//! `--small` uses the laptop-scale Rea A configuration (fewer simulated
+//! people, identical statistical structure) — the default here, since the
+//! full-scale world only changes simulation time, not the game.
+
+use audit_bench::defaults::{
+    FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS, REAL_SAMPLES, SEED,
+};
+use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budgets: Vec<f64> = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(audit_bench::defaults::fig1_budgets);
+
+    eprintln!("Figure 1 reproduction: Rea A (synthetic VUMC EMR workload)");
+    let t0 = std::time::Instant::now();
+    let config = emrsim::reaa::small_config(SEED);
+    let (spec, profile) = emrsim::reaa::build_game_with_profile(&config).expect("Rea A builds");
+    eprintln!("fitted per-type means: {:?}", profile.means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>());
+
+    let sweep = SweepConfig {
+        epsilons: FIG_EPSILONS.to_vec(),
+        n_samples: REAL_SAMPLES,
+        seed: SEED,
+        random_order_samples: RANDOM_ORDER_SAMPLES,
+        random_threshold_repeats: RANDOM_THRESHOLD_REPEATS,
+        dedup_actions: true,
+    };
+    let data = budget_sweep(&spec, &budgets, &sweep).expect("sweep solves");
+    println!("{}", render_figure(&data));
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

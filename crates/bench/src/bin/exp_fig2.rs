@@ -1,0 +1,41 @@
+//! Experiment E8 — paper Figure 2: auditor's loss on Rea B (credit-card
+//! applications) across budgets 10..=250 for the proposed model and the
+//! three baselines.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_fig2 [budgets]
+//! ```
+
+use audit_bench::defaults::{
+    FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS, REAL_SAMPLES, SEED,
+};
+use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
+
+fn main() {
+    let budgets: Vec<f64> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(audit_bench::defaults::fig2_budgets);
+
+    eprintln!("Figure 2 reproduction: Rea B (synthetic Statlog credit data)");
+    let t0 = std::time::Instant::now();
+    let config = creditsim::reab::ReaBConfig { seed: SEED, ..Default::default() };
+    let (spec, profile) =
+        creditsim::reab::build_game_with_profile(&config).expect("Rea B builds");
+    eprintln!(
+        "fitted per-type means: {:?}",
+        profile.means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    let sweep = SweepConfig {
+        epsilons: FIG_EPSILONS.to_vec(),
+        n_samples: REAL_SAMPLES,
+        seed: SEED,
+        random_order_samples: RANDOM_ORDER_SAMPLES,
+        random_threshold_repeats: RANDOM_THRESHOLD_REPEATS,
+        dedup_actions: true,
+    };
+    let data = budget_sweep(&spec, &budgets, &sweep).expect("sweep solves");
+    println!("{}", render_figure(&data));
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,42 @@
+//! Experiment E3 — paper Table V: ISHM with the CGGS column-generation
+//! inner solver across the same (B, ε) grid as Table IV.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons]
+//! ```
+
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::report::{f4, thresholds_str, Table};
+use audit_bench::syn_experiments::ishm_grid;
+use audit_game::datasets::syn_a_with_budget;
+
+fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
+    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
+    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
+    eprintln!("Table V reproduction: ISHM + CGGS ({SYN_SAMPLES} samples)");
+    let t0 = std::time::Instant::now();
+    let grid = ishm_grid(&budgets, &epsilons, true, SYN_SAMPLES, SEED).expect("ISHM+CGGS grid");
+    let costs = syn_a_with_budget(2.0).audit_costs();
+
+    let mut header: Vec<String> = vec!["B".into()];
+    header.extend(epsilons.iter().map(|e| format!("eps={e}")));
+    let mut table = Table::new(header);
+    for row in &grid {
+        let mut cells: Vec<String> = vec![format!("{}", row[0].budget)];
+        for cell in row {
+            cells.push(format!(
+                "{} {}",
+                f4(cell.value),
+                thresholds_str(&cell.thresholds, &costs)
+            ));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,46 @@
+//! Experiment E4 — paper Table VI: average precision γ of ISHM (γ¹) and
+//! ISHM+CGGS (γ²) against the brute-force optimum, per step size ε.
+//!
+//! Runs Table III + Table IV + Table V internally and reports
+//! `γ_ε = 1 − mean_B |Ŝ(B,ε) − S(B)| / |S(B)|`.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_table6 [budgets] [epsilons]
+//! ```
+
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::report::Table;
+use audit_bench::syn_experiments::{gamma_per_epsilon, ishm_grid, table3};
+
+fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
+    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
+    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
+    let t0 = std::time::Instant::now();
+
+    eprintln!("[1/3] brute-force optimum (Table III)");
+    let optimal = table3(&budgets, SYN_SAMPLES, SEED).expect("table3");
+    eprintln!("[2/3] ISHM grid (Table IV)");
+    let grid_exact = ishm_grid(&budgets, &epsilons, false, SYN_SAMPLES, SEED).expect("grid");
+    eprintln!("[3/3] ISHM+CGGS grid (Table V)");
+    let grid_cggs = ishm_grid(&budgets, &epsilons, true, SYN_SAMPLES, SEED).expect("grid");
+
+    let g1 = gamma_per_epsilon(&optimal, &grid_exact);
+    let g2 = gamma_per_epsilon(&optimal, &grid_cggs);
+
+    let mut header: Vec<String> = vec!["eps".into()];
+    header.extend(epsilons.iter().map(|e| format!("{e}")));
+    let mut table = Table::new(header);
+    let mut row1: Vec<String> = vec!["gamma1 (ISHM)".into()];
+    row1.extend(g1.iter().map(|g| format!("{g:.4}")));
+    table.row(row1);
+    let mut row2: Vec<String> = vec!["gamma2 (ISHM+CGGS)".into()];
+    row2.extend(g2.iter().map(|g| format!("{g:.4}")));
+    table.row(row2);
+    println!("{}", table.render());
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

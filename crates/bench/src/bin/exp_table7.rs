@@ -1,0 +1,37 @@
+//! Experiment E5 — paper Table VII: number of threshold vectors ISHM
+//! explores per (B, ε).
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_table7 [budgets] [epsilons]
+//! ```
+
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS_T7, SYN_SAMPLES};
+use audit_bench::report::Table;
+use audit_bench::syn_experiments::ishm_grid;
+
+fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
+    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
+    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS_T7);
+    eprintln!("Table VII reproduction: ISHM exploration counters");
+    let t0 = std::time::Instant::now();
+    let grid = ishm_grid(&budgets, &epsilons, false, SYN_SAMPLES, SEED).expect("grid");
+
+    // Paper layout: rows = ε, columns = B.
+    let mut header: Vec<String> = vec!["eps \\ B".into()];
+    header.extend(budgets.iter().map(|b| format!("{b}")));
+    let mut table = Table::new(header);
+    for (e, &eps) in epsilons.iter().enumerate() {
+        let mut row: Vec<String> = vec![format!("{eps}")];
+        for row_cells in &grid {
+            row.push(format!("{}", row_cells[e].explored));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the alert-audit reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), built on the
+//! shared runners in this library:
+//!
+//! * [`report`] — plain-text/markdown table rendering;
+//! * [`syn_experiments`] — Syn A sweeps (Tables III–VII, Section IV.C);
+//! * [`real_experiments`] — Rea A / Rea B budget sweeps (Figures 1–2);
+//! * [`defaults`] — the budget grids and seeds shared across binaries.
+//!
+//! Every runner takes explicit seeds and sample counts so results are
+//! reproducible; the binaries print the same rows/series the paper reports.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod defaults;
+pub mod real_experiments;
+pub mod report;
+pub mod syn_experiments;

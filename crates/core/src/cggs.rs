@@ -1,0 +1,389 @@
+//! Column Generation Greedy Search (paper Algorithm 1).
+//!
+//! The master LP over all `|T|!` orderings is intractable to materialize,
+//! but only a small basis of orderings carries probability at the optimum.
+//! CGGS iterates:
+//!
+//! 1. solve the master restricted to the current column set `Q` and read
+//!    the attacker mixture `π_Q = y` off it (Algorithm 1, line 3);
+//! 2. search for a new ordering with negative reduced cost — i.e. one whose
+//!    attacker utility against `y` is *below* the current value `μ`;
+//! 3. the pricing subproblem is itself hard, so a **greedy** oracle builds
+//!    the ordering one type at a time, each step appending the type that
+//!    most increases the `y`-weighted detection mass (line 6);
+//! 4. stop when the best candidate no longer improves (reduced cost ≥ 0).
+//!
+//! Because `U_a` is affine in the detection probabilities, the candidate
+//! score decomposes as `f(o) = const − Σ_t w_t·Pal(o,b,t)` with
+//! `w_t = Σ_ev y_ev·(M+R)_ev·P^t_ev ≥ 0`, so the greedy step only needs the
+//! *marginal* detection mass of the appended type — and a type's `Pal`
+//! depends only on its predecessors, making the extension incremental.
+
+use crate::detection::DetectionEstimator;
+use crate::error::GameError;
+use crate::master::{MasterSolution, MasterSolver};
+use crate::model::GameSpec;
+use crate::ordering::{AuditOrder, PrecedenceConstraints};
+use crate::payoff::{action_utility, PayoffMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Which pricing oracle generates candidate columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// The paper's greedy construction (Algorithm 1, lines 4–7).
+    #[default]
+    Greedy,
+    /// Exhaustive enumeration of all feasible orderings — exponential, for
+    /// small `|T|` only; used by the `ablation_oracle` benchmark to measure
+    /// how much the greedy heuristic gives up.
+    Exhaustive,
+}
+
+/// CGGS configuration.
+#[derive(Debug, Clone)]
+pub struct CggsConfig {
+    /// Upper bound on generated columns (safety valve; the algorithm
+    /// normally converges in far fewer).
+    pub max_columns: usize,
+    /// Reduced-cost tolerance for convergence.
+    pub tol: f64,
+    /// Pricing oracle.
+    pub oracle: OracleKind,
+    /// Organizational constraints restricting the feasible order set `O`.
+    pub precedence: PrecedenceConstraints,
+}
+
+impl Default for CggsConfig {
+    fn default() -> Self {
+        Self {
+            max_columns: 256,
+            tol: 1e-7,
+            oracle: OracleKind::Greedy,
+            precedence: PrecedenceConstraints::none(),
+        }
+    }
+}
+
+/// Result of a CGGS run.
+#[derive(Debug, Clone)]
+pub struct CggsOutcome {
+    /// Final master solution over the generated columns.
+    pub master: MasterSolution,
+    /// The generated order columns (aligned with `master.p_orders`).
+    pub orders: Vec<AuditOrder>,
+    /// Number of master LPs solved.
+    pub iterations: usize,
+    /// `true` when the oracle proved no improving column exists (within
+    /// its heuristic power); `false` when `max_columns` was hit.
+    pub converged: bool,
+}
+
+/// Column Generation Greedy Search solver.
+#[derive(Debug, Clone, Default)]
+pub struct Cggs {
+    /// Configuration.
+    pub config: CggsConfig,
+}
+
+impl Cggs {
+    /// Construct with a configuration.
+    pub fn new(config: CggsConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run CGGS for a fixed threshold vector.
+    pub fn solve(
+        &self,
+        spec: &GameSpec,
+        est: &DetectionEstimator<'_>,
+        thresholds: &[f64],
+    ) -> Result<CggsOutcome, GameError> {
+        spec.validate()?;
+        let n = spec.n_types();
+        assert_eq!(thresholds.len(), n);
+
+        // Seed Q with one feasible pure strategy (Algorithm 1 input).
+        let initial = self.initial_order(n)?;
+        let mut matrix = PayoffMatrix::build(spec, est, vec![initial], thresholds);
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        while matrix.n_orders() < self.config.max_columns {
+            let master = MasterSolver::solve(spec, &matrix)?;
+            iterations += 1;
+
+            let candidate = match self.config.oracle {
+                OracleKind::Greedy => {
+                    self.greedy_column(spec, est, thresholds, &master.y_actions)
+                }
+                OracleKind::Exhaustive => {
+                    self.exhaustive_column(spec, est, thresholds, &master.y_actions)
+                }
+            };
+
+            // Reduced cost: f(o') − μ. Negative ⇒ the new column lets the
+            // auditor push the value below the current μ.
+            let f = self.column_score(spec, est, thresholds, &candidate, &master.y_actions);
+            let improving = f < master.value - self.config.tol;
+            let fresh = !matrix.orders.contains(&candidate);
+            if improving && fresh {
+                matrix.push_order(spec, est, candidate, thresholds);
+            } else {
+                converged = true;
+                return Ok(CggsOutcome {
+                    master,
+                    orders: matrix.orders.clone(),
+                    iterations,
+                    converged,
+                });
+            }
+        }
+
+        // Column budget exhausted: return the best master found.
+        let master = MasterSolver::solve(spec, &matrix)?;
+        Ok(CggsOutcome { master, orders: matrix.orders, iterations, converged })
+    }
+
+    /// A deterministic feasible initial order (identity filtered through a
+    /// precedence-respecting topological placement).
+    fn initial_order(&self, n: usize) -> Result<AuditOrder, GameError> {
+        if self.config.precedence.is_empty() {
+            return Ok(AuditOrder::identity(n));
+        }
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = (0..n)
+                .find(|&t| !placed[t] && self.config.precedence.can_place_next(t, &placed))
+                .ok_or_else(|| {
+                    GameError::InvalidSpec("precedence constraints are unsatisfiable".into())
+                })?;
+            placed[next] = true;
+            order.push(next);
+        }
+        AuditOrder::new(order)
+    }
+
+    /// `f(o) = Σ_ev y_ev·U_a(o,b,⟨e,v⟩)` — the attacker mixture's payoff if
+    /// the auditor played the pure order `o`.
+    fn column_score(
+        &self,
+        spec: &GameSpec,
+        est: &DetectionEstimator<'_>,
+        thresholds: &[f64],
+        order: &AuditOrder,
+        y: &[f64],
+    ) -> f64 {
+        let pal = est.pal(order, thresholds);
+        let mut f = 0.0;
+        let mut i = 0usize;
+        for att in &spec.attackers {
+            for act in &att.actions {
+                if y[i] != 0.0 {
+                    f += y[i] * action_utility(act, &pal);
+                }
+                i += 1;
+            }
+        }
+        f
+    }
+
+    /// Per-type detection weights `w_t = Σ_ev y_ev·(M+R)_ev·P^t_ev`.
+    fn detection_weights(&self, spec: &GameSpec, y: &[f64]) -> Vec<f64> {
+        let mut w = vec![0.0; spec.n_types()];
+        let mut i = 0usize;
+        for att in &spec.attackers {
+            for act in &att.actions {
+                let mass = y[i] * (act.penalty + act.reward);
+                if mass != 0.0 {
+                    for &(t, p) in &act.alert_probs {
+                        w[t] += mass * p;
+                    }
+                }
+                i += 1;
+            }
+        }
+        w
+    }
+
+    /// Greedy pricing oracle (Algorithm 1, lines 4–7): repeatedly append the
+    /// feasible type maximizing the marginal weighted detection mass.
+    fn greedy_column(
+        &self,
+        spec: &GameSpec,
+        est: &DetectionEstimator<'_>,
+        thresholds: &[f64],
+        y: &[f64],
+    ) -> AuditOrder {
+        let n = spec.n_types();
+        let w = self.detection_weights(spec, y);
+        let mut prefix: Vec<usize> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let mut trial = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut best: Option<(usize, f64)> = None;
+            for t in 0..n {
+                if placed[t] || !self.config.precedence.can_place_next(t, &placed) {
+                    continue;
+                }
+                trial.clear();
+                trial.extend_from_slice(&prefix);
+                trial.push(t);
+                let pal = est.pal_prefix(&trial, thresholds);
+                let gain = w[t] * pal[t];
+                if best.map(|(_, g)| gain > g + 1e-15).unwrap_or(true) {
+                    best = Some((t, gain));
+                }
+            }
+            let (t, _) = best.expect("some type must be placeable (DAG precedence)");
+            placed[t] = true;
+            prefix.push(t);
+        }
+        AuditOrder::new(prefix).expect("greedy construction yields a permutation")
+    }
+
+    /// Exhaustive pricing oracle: globally minimize `f(o)`.
+    fn exhaustive_column(
+        &self,
+        spec: &GameSpec,
+        est: &DetectionEstimator<'_>,
+        thresholds: &[f64],
+        y: &[f64],
+    ) -> AuditOrder {
+        let all = if self.config.precedence.is_empty() {
+            AuditOrder::enumerate_all(spec.n_types())
+        } else {
+            AuditOrder::enumerate_feasible(spec.n_types(), &self.config.precedence)
+        };
+        all.into_iter()
+            .map(|o| {
+                let f = self.column_score(spec, est, thresholds, &o, y);
+                (o, f)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(o, _)| o)
+            .expect("at least one feasible order")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::DetectionModel;
+    use crate::model::{AttackAction, Attacker, GameSpecBuilder};
+    use std::sync::Arc;
+    use stochastics::Constant;
+
+    fn three_type_spec() -> GameSpec {
+        let mut b = GameSpecBuilder::new();
+        let t0 = b.alert_type("t0", 1.0, Arc::new(Constant(1)));
+        let t1 = b.alert_type("t1", 1.0, Arc::new(Constant(1)));
+        let t2 = b.alert_type("t2", 1.0, Arc::new(Constant(1)));
+        for (i, &(t, r)) in [(t0, 9.0), (t1, 7.0), (t2, 5.0)].iter().enumerate() {
+            b.attacker(Attacker::new(
+                format!("e{i}"),
+                1.0,
+                vec![AttackAction::deterministic(format!("v{t}"), t, r, 0.5, 6.0)],
+            ));
+        }
+        b.budget(1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cggs_matches_exact_master_on_small_game() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.0, 1.0, 1.0];
+
+        let cggs = Cggs::default()
+            .solve(&spec, &est, &thresholds)
+            .unwrap();
+
+        let all = AuditOrder::enumerate_all(3);
+        let m = PayoffMatrix::build(&spec, &est, all, &thresholds);
+        let exact = MasterSolver::solve(&spec, &m).unwrap();
+
+        assert!(cggs.converged);
+        assert!(
+            cggs.master.value >= exact.value - 1e-6,
+            "CGGS value {} below exact optimum {}",
+            cggs.master.value,
+            exact.value
+        );
+        // On this small symmetric instance greedy pricing is exact.
+        assert!(
+            (cggs.master.value - exact.value).abs() < 1e-5,
+            "CGGS {} vs exact {}",
+            cggs.master.value,
+            exact.value
+        );
+        // And it should need far fewer columns than 3! = 6.
+        assert!(cggs.orders.len() <= 6);
+    }
+
+    #[test]
+    fn exhaustive_oracle_never_worse_than_greedy() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.0, 1.0, 1.0];
+
+        let greedy = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
+        let exhaustive = Cggs::new(CggsConfig {
+            oracle: OracleKind::Exhaustive,
+            ..Default::default()
+        })
+        .solve(&spec, &est, &thresholds)
+        .unwrap();
+        assert!(exhaustive.master.value <= greedy.master.value + 1e-7);
+    }
+
+    #[test]
+    fn detection_weights_aggregate_reward_and_penalty() {
+        let spec = three_type_spec();
+        let cggs = Cggs::default();
+        // y puts mass 1 on attacker 0's only action (type 0, R=9, M=6).
+        let y = vec![1.0, 0.0, 0.0];
+        let w = cggs.detection_weights(&spec, &y);
+        assert!((w[0] - 15.0).abs() < 1e-12);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn greedy_orders_by_weighted_mass() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let cggs = Cggs::default();
+        // All mass on attacker 2 (type 2): greedy must front-load type 2.
+        let y = vec![0.0, 0.0, 1.0];
+        let o = cggs.greedy_column(&spec, &est, &[1.0, 1.0, 1.0], &y);
+        assert_eq!(o.types()[0], 2);
+    }
+
+    #[test]
+    fn precedence_respected_in_generated_columns() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let precedence = PrecedenceConstraints::new(vec![(1, 0)], 3).unwrap();
+        let cggs = Cggs::new(CggsConfig { precedence: precedence.clone(), ..Default::default() });
+        let out = cggs.solve(&spec, &est, &[1.0, 1.0, 1.0]).unwrap();
+        for o in &out.orders {
+            assert!(precedence.is_satisfied(o), "order {o} violates precedence");
+        }
+    }
+
+    #[test]
+    fn column_budget_is_respected() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let cggs = Cggs::new(CggsConfig { max_columns: 2, ..Default::default() });
+        let out = cggs.solve(&spec, &est, &[1.0, 1.0, 1.0]).unwrap();
+        assert!(out.orders.len() <= 2);
+    }
+}

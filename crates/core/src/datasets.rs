@@ -1,0 +1,245 @@
+//! Built-in game instances: the paper's Syn A synthetic dataset (Table II)
+//! and parameterized random game generators for tests and benchmarks.
+
+use crate::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
+use rand::Rng;
+use std::sync::Arc;
+use stochastics::{seeded_rng, DiscretizedGaussian};
+
+/// Syn A alert-type parameters (paper Table IIa).
+///
+/// Four alert types with Gaussian benign counts, truncated at the tabulated
+/// 99.5% coverage half-widths; unit audit costs; per-type attacker benefit;
+/// uniform attack cost 0.4 and capture penalty 4.
+pub const SYN_A_MEANS: [f64; 4] = [6.0, 5.0, 4.0, 4.0];
+/// Standard deviations of the four Syn A alert types.
+pub const SYN_A_STDS: [f64; 4] = [2.0, 1.6, 1.3, 1.0];
+/// Truncation half-widths ("99.5% coverage") of the Syn A types.
+pub const SYN_A_COVERAGE: [u64; 4] = [5, 4, 3, 3];
+/// Attacker benefit per alert type.
+pub const SYN_A_BENEFIT: [f64; 4] = [3.4, 3.7, 4.0, 4.3];
+/// Attack cost (uniform across types).
+pub const SYN_A_ATTACK_COST: f64 = 0.4;
+/// Capture penalty (uniform).
+pub const SYN_A_PENALTY: f64 = 4.0;
+
+/// Syn A access rules (paper Table IIb): `SYN_A_RULES[e][r]` is the alert
+/// type (1-based) triggered when employee `e` accesses record `r`, with `0`
+/// meaning a benign access.
+pub const SYN_A_RULES: [[u8; 8]; 5] = [
+    [0, 3, 2, 2, 3, 4, 3, 1],
+    [1, 0, 1, 1, 1, 2, 1, 1],
+    [1, 3, 4, 0, 1, 3, 1, 4],
+    [2, 1, 3, 1, 4, 4, 2, 2],
+    [2, 3, 1, 4, 2, 1, 3, 2],
+];
+
+/// Build the Syn A game (Section IV.A) with the default budget of 2.
+///
+/// * 5 employees × 8 records; alerts triggered deterministically per
+///   Table IIb;
+/// * `p_e = 1` (the footnoted "artificially high incidence" that permits
+///   brute-force comparison);
+/// * no opt-out: Table III's negative optima require attackers that always
+///   pick their best available attack (see `DESIGN.md`).
+pub fn syn_a() -> GameSpec {
+    syn_a_with_budget(2.0)
+}
+
+/// Syn A with an explicit audit budget `B` (the paper sweeps 2..=20).
+pub fn syn_a_with_budget(budget: f64) -> GameSpec {
+    let mut b = GameSpecBuilder::new();
+    for t in 0..4 {
+        b.alert_type(
+            format!("Type {}", t + 1),
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(
+                SYN_A_MEANS[t],
+                SYN_A_STDS[t],
+                SYN_A_COVERAGE[t],
+            )),
+        );
+    }
+    for (e, row) in SYN_A_RULES.iter().enumerate() {
+        let actions: Vec<AttackAction> = row
+            .iter()
+            .enumerate()
+            .map(|(r, &cell)| {
+                if cell == 0 {
+                    AttackAction::benign(format!("r{}", r + 1), SYN_A_ATTACK_COST)
+                } else {
+                    let t = cell as usize - 1;
+                    AttackAction::deterministic(
+                        format!("r{}", r + 1),
+                        t,
+                        SYN_A_BENEFIT[t],
+                        SYN_A_ATTACK_COST,
+                        SYN_A_PENALTY,
+                    )
+                }
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{}", e + 1), 1.0, actions));
+    }
+    b.budget(budget);
+    b.allow_opt_out(false);
+    b.build().expect("Syn A table data is valid")
+}
+
+/// Parameters for the random game generator.
+#[derive(Debug, Clone)]
+pub struct RandomGameConfig {
+    /// Number of alert types.
+    pub n_types: usize,
+    /// Number of attackers.
+    pub n_attackers: usize,
+    /// Number of victims per attacker.
+    pub n_victims: usize,
+    /// Audit budget.
+    pub budget: f64,
+    /// Whether attackers may refrain.
+    pub allow_opt_out: bool,
+    /// Probability that an (attacker, victim) access is benign.
+    pub benign_prob: f64,
+}
+
+impl Default for RandomGameConfig {
+    fn default() -> Self {
+        Self {
+            n_types: 4,
+            n_attackers: 5,
+            n_victims: 8,
+            budget: 4.0,
+            allow_opt_out: false,
+            benign_prob: 0.1,
+        }
+    }
+}
+
+/// Generate a random Syn-A-shaped game: Gaussian count models with means in
+/// `[3, 10]`, unit audit costs, benefits increasing in type index, and a
+/// deterministic rule table drawn from the seed. Used by property tests and
+/// scaling benchmarks.
+pub fn random_game(config: &RandomGameConfig, seed: u64) -> GameSpec {
+    assert!(config.n_types >= 1);
+    let mut rng = seeded_rng(seed);
+    let mut b = GameSpecBuilder::new();
+    let mut benefits = Vec::with_capacity(config.n_types);
+    for t in 0..config.n_types {
+        let mean: f64 = rng.gen_range(3.0..10.0);
+        let std: f64 = rng.gen_range(0.8..2.5);
+        let half = (2.81 * std).ceil() as u64; // ≈99.5% coverage
+        b.alert_type(
+            format!("T{t}"),
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(mean, std, half.max(1))),
+        );
+        benefits.push(3.0 + 0.4 * t as f64 + rng.gen_range(0.0..0.4));
+    }
+    for e in 0..config.n_attackers {
+        let actions: Vec<AttackAction> = (0..config.n_victims)
+            .map(|v| {
+                if rng.gen_bool(config.benign_prob) {
+                    AttackAction::benign(format!("v{v}"), 0.4)
+                } else {
+                    let t = rng.gen_range(0..config.n_types);
+                    AttackAction::deterministic(
+                        format!("v{v}"),
+                        t,
+                        benefits[t],
+                        0.4,
+                        4.0,
+                    )
+                }
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), 1.0, actions));
+    }
+    b.budget(config.budget);
+    b.allow_opt_out(config.allow_opt_out);
+    b.build().expect("generated game is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_a_shape_matches_table_ii() {
+        let s = syn_a();
+        assert_eq!(s.n_types(), 4);
+        assert_eq!(s.n_attackers(), 5);
+        assert_eq!(s.n_actions(), 40);
+        assert_eq!(s.budget, 2.0);
+        assert!(!s.allow_opt_out);
+        // Full-coverage bounds J = mean + halfwidth: [11, 9, 7, 7].
+        assert_eq!(s.threshold_upper_bounds(), vec![11.0, 9.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn syn_a_benign_cells_match_table() {
+        let s = syn_a();
+        // e1 accesses r1 benignly; e4 and e5 have no benign access.
+        assert!(s.attackers[0].actions[0].alert_probs.is_empty());
+        assert!(s.attackers[3].actions.iter().all(|a| !a.alert_probs.is_empty()));
+        assert!(s.attackers[4].actions.iter().all(|a| !a.alert_probs.is_empty()));
+    }
+
+    #[test]
+    fn syn_a_rewards_follow_benefit_vector() {
+        let s = syn_a();
+        // e1 → r8 triggers type 1 (index 0): reward 3.4.
+        let act = &s.attackers[0].actions[7];
+        assert_eq!(act.alert_probs, vec![(0, 1.0)]);
+        assert!((act.reward - 3.4).abs() < 1e-12);
+        // e5 → r4 triggers type 4 (index 3): reward 4.3.
+        let act = &s.attackers[4].actions[3];
+        assert_eq!(act.alert_probs, vec![(3, 1.0)]);
+        assert!((act.reward - 4.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syn_a_count_distributions_match_moments() {
+        let s = syn_a();
+        for (t, d) in s.distributions.iter().enumerate() {
+            assert!(
+                (d.mean() - SYN_A_MEANS[t]).abs() < 0.2,
+                "type {t} mean {} vs table {}",
+                d.mean(),
+                SYN_A_MEANS[t]
+            );
+        }
+    }
+
+    #[test]
+    fn random_game_is_valid_and_deterministic() {
+        let cfg = RandomGameConfig::default();
+        let a = random_game(&cfg, 42);
+        let b = random_game(&cfg, 42);
+        assert_eq!(a.n_actions(), b.n_actions());
+        assert_eq!(a.n_types(), cfg.n_types);
+        assert_eq!(a.n_attackers(), cfg.n_attackers);
+        a.validate().unwrap();
+        // Action tables agree cell by cell.
+        for (x, y) in a.attackers.iter().zip(&b.attackers) {
+            for (ax, ay) in x.actions.iter().zip(&y.actions) {
+                assert_eq!(ax.alert_probs, ay.alert_probs);
+                assert_eq!(ax.reward, ay.reward);
+            }
+        }
+    }
+
+    #[test]
+    fn random_game_respects_dimensions() {
+        let cfg = RandomGameConfig {
+            n_types: 6,
+            n_attackers: 3,
+            n_victims: 4,
+            ..Default::default()
+        };
+        let g = random_game(&cfg, 7);
+        assert_eq!(g.n_types(), 6);
+        assert_eq!(g.n_attackers(), 3);
+        assert_eq!(g.n_actions(), 12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for game construction and solving.
+
+use lp_solver::LpError;
+use std::fmt;
+
+/// Errors raised while building or solving an alert-prioritization game.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// The [`crate::model::GameSpec`] is structurally invalid.
+    InvalidSpec(String),
+    /// The embedded linear program could not be solved.
+    Lp(LpError),
+    /// A solver was configured inconsistently (e.g. ε outside `(0, 1]`).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidSpec(msg) => write!(f, "invalid game specification: {msg}"),
+            GameError::Lp(e) => write!(f, "LP solve failed: {e}"),
+            GameError::InvalidConfig(msg) => write!(f, "invalid solver configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GameError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for GameError {
+    fn from(e: LpError) -> Self {
+        GameError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: GameError = LpError::Unbounded { column: 1 }.into();
+        assert!(e.to_string().contains("unbounded"));
+        assert!(GameError::InvalidSpec("x".into()).to_string().contains("x"));
+        assert!(GameError::InvalidConfig("y".into()).to_string().contains("y"));
+    }
+}

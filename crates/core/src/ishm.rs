@@ -1,0 +1,406 @@
+//! Iterative Shrink Heuristic Method (paper Algorithm 2).
+//!
+//! ISHM searches the (continuous) threshold space by starting from the
+//! full-coverage vector `Ĥ_t = C_t · max supp(F_t)` — above which
+//! `F_t(b_t/C_t) ≈ 1` and further budget is wasted (Section III-B) — and
+//! repeatedly *shrinking* subsets of thresholds by a ratio `1 − i·ε`:
+//!
+//! * level `lh` enumerates all `C(|T|, lh)` subsets of that size;
+//! * for each shrink ratio (coarse to fine: `i = 1 … ⌈1/ε⌉`) the best
+//!   subset at the current level is evaluated through the inner LP;
+//! * the first strict improvement is accepted and the search *restarts* at
+//!   level 1; when a full ratio sweep yields no improvement the level
+//!   increases, and the search terminates once `lh > |T|`.
+//!
+//! The inner evaluation (one LP per candidate) is pluggable: exact
+//! enumeration of all orderings for small `|T|` or [`crate::cggs::Cggs`]
+//! column generation for large `|T|` — the two variants compared in paper
+//! Tables IV and V.
+
+use crate::cggs::{Cggs, CggsConfig};
+use crate::detection::DetectionEstimator;
+use crate::error::GameError;
+use crate::master::{MasterSolution, MasterSolver};
+use crate::model::GameSpec;
+use crate::ordering::AuditOrder;
+use crate::payoff::PayoffMatrix;
+use serde::{Deserialize, Serialize};
+
+/// All `k`-element subsets of `0..n` in lexicographic order (the `choose`
+/// of Algorithm 2, line 4).
+pub fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k <= n, "cannot choose {k} of {n}");
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..k).collect();
+    if k == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    loop {
+        out.push(combo.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+/// Evaluates the auditor's objective for a candidate threshold vector by
+/// solving the induced LP. Implementations may cache across calls.
+pub trait ThresholdEvaluator {
+    /// Objective value (auditor's loss) under `thresholds`.
+    fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError>;
+
+    /// Full policy (master solution + its order columns) under `thresholds`.
+    fn solve_full(
+        &mut self,
+        thresholds: &[f64],
+    ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError>;
+}
+
+/// Inner evaluator that materializes **all** feasible orderings — exact but
+/// exponential in `|T|` (paper Table IV path).
+pub struct ExactEvaluator<'a> {
+    spec: &'a GameSpec,
+    est: DetectionEstimator<'a>,
+    orders: Vec<AuditOrder>,
+}
+
+impl<'a> ExactEvaluator<'a> {
+    /// Build with the full order set.
+    pub fn new(spec: &'a GameSpec, est: DetectionEstimator<'a>) -> Self {
+        let orders = AuditOrder::enumerate_all(spec.n_types());
+        Self { spec, est, orders }
+    }
+
+    /// Build with an explicit (e.g. precedence-filtered) order set.
+    pub fn with_orders(
+        spec: &'a GameSpec,
+        est: DetectionEstimator<'a>,
+        orders: Vec<AuditOrder>,
+    ) -> Self {
+        assert!(!orders.is_empty(), "order set must be non-empty");
+        Self { spec, est, orders }
+    }
+}
+
+impl ThresholdEvaluator for ExactEvaluator<'_> {
+    fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
+        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        Ok(MasterSolver::solve(self.spec, &m)?.value)
+    }
+
+    fn solve_full(
+        &mut self,
+        thresholds: &[f64],
+    ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError> {
+        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        let sol = MasterSolver::solve(self.spec, &m)?;
+        Ok((sol, m.orders))
+    }
+}
+
+/// Inner evaluator backed by CGGS column generation (paper Table V path).
+pub struct CggsEvaluator<'a> {
+    spec: &'a GameSpec,
+    est: DetectionEstimator<'a>,
+    cggs: Cggs,
+}
+
+impl<'a> CggsEvaluator<'a> {
+    /// Build with a CGGS configuration.
+    pub fn new(spec: &'a GameSpec, est: DetectionEstimator<'a>, config: CggsConfig) -> Self {
+        Self { spec, est, cggs: Cggs::new(config) }
+    }
+}
+
+impl ThresholdEvaluator for CggsEvaluator<'_> {
+    fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
+        Ok(self.cggs.solve(self.spec, &self.est, thresholds)?.master.value)
+    }
+
+    fn solve_full(
+        &mut self,
+        thresholds: &[f64],
+    ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError> {
+        let out = self.cggs.solve(self.spec, &self.est, thresholds)?;
+        Ok((out.master, out.orders))
+    }
+}
+
+/// ISHM configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IshmConfig {
+    /// Step size `ε ∈ (0, 1]` controlling the shrink-ratio grid.
+    pub epsilon: f64,
+    /// Minimal strict improvement to accept a shrink (guards against
+    /// accepting float noise and guarantees termination).
+    pub improvement_tol: f64,
+}
+
+impl Default for IshmConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.1, improvement_tol: 1e-9 }
+    }
+}
+
+/// Instrumentation counters (paper Table VII / Section IV.C `T` vector).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Threshold vectors evaluated (LP calls), including the initial one.
+    pub thresholds_explored: usize,
+    /// Accepted shrinks.
+    pub improvements: usize,
+    /// Highest subset level `lh` reached.
+    pub max_level: usize,
+}
+
+/// Result of an ISHM run.
+#[derive(Debug, Clone)]
+pub struct IshmOutcome {
+    /// Best threshold vector found.
+    pub thresholds: Vec<f64>,
+    /// Objective value at `thresholds`.
+    pub value: f64,
+    /// Master solution (mixed strategy) at the best thresholds.
+    pub master: MasterSolution,
+    /// Order columns aligned with `master.p_orders`.
+    pub orders: Vec<AuditOrder>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// Iterative Shrink Heuristic Method driver.
+#[derive(Debug, Clone)]
+pub struct Ishm {
+    /// Configuration.
+    pub config: IshmConfig,
+}
+
+impl Ishm {
+    /// Construct with a configuration.
+    pub fn new(config: IshmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run ISHM against an inner evaluator (Algorithm 2).
+    pub fn solve<E: ThresholdEvaluator>(
+        &self,
+        spec: &GameSpec,
+        evaluator: &mut E,
+    ) -> Result<IshmOutcome, GameError> {
+        if !(self.config.epsilon > 0.0 && self.config.epsilon <= 1.0) {
+            return Err(GameError::InvalidConfig(format!(
+                "ISHM step size must lie in (0, 1], got {}",
+                self.config.epsilon
+            )));
+        }
+        spec.validate()?;
+        let n = spec.n_types();
+        let n_ratios = (1.0 / self.config.epsilon).ceil() as usize;
+        let costs = spec.audit_costs();
+        // Thresholds live on the audit-unit lattice: a fractional budget
+        // share above ⌊b_t/C_t⌋·C_t buys no audit yet is still consumed by
+        // the paper's recourse formula, so every shrink is floored to a
+        // multiple of C_t (this also matches the integer thresholds the
+        // paper reports, e.g. 11·0.9 → 9 in Table IV).
+        let floor_unit = |b: f64, t: usize| (b / costs[t]).floor().max(0.0) * costs[t];
+
+        // Ĥ initialized at full coverage (Algorithm 2, line 1).
+        let mut h: Vec<f64> = spec.threshold_upper_bounds();
+        let mut stats = SearchStats::default();
+        let mut obj = evaluator.evaluate(&h)?;
+        stats.thresholds_explored += 1;
+
+        let mut lh = 1usize;
+        while lh <= n {
+            stats.max_level = stats.max_level.max(lh);
+            let combos = combinations(n, lh);
+            let mut progress = 0usize;
+            for i in 1..=n_ratios {
+                let ratio = (1.0 - i as f64 * self.config.epsilon).max(0.0);
+                let mut best_obj = f64::INFINITY;
+                let mut best_combo: Option<usize> = None;
+                for (j, combo) in combos.iter().enumerate() {
+                    let mut temp = h.clone();
+                    for &k in combo {
+                        temp[k] = floor_unit(temp[k] * ratio, k);
+                    }
+                    if temp == h {
+                        // Flooring absorbed the shrink entirely; skip the
+                        // no-op candidate (it cannot improve).
+                        continue;
+                    }
+                    let candidate = evaluator.evaluate(&temp)?;
+                    stats.thresholds_explored += 1;
+                    if candidate < best_obj {
+                        best_obj = candidate;
+                        best_combo = Some(j);
+                    }
+                }
+                if best_obj < obj - self.config.improvement_tol {
+                    obj = best_obj;
+                    let combo = &combos[best_combo.expect("improvement implies a combo")];
+                    for &k in combo {
+                        h[k] = floor_unit(h[k] * ratio, k);
+                    }
+                    stats.improvements += 1;
+                    progress = 0;
+                    break;
+                }
+                progress = i;
+            }
+            if progress == n_ratios {
+                lh += 1;
+            } else {
+                lh = 1;
+            }
+        }
+
+        let (master, orders) = evaluator.solve_full(&h)?;
+        Ok(IshmOutcome { thresholds: h, value: master.value, master, orders, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::DetectionModel;
+    use crate::model::{AttackAction, Attacker, GameSpecBuilder};
+    use std::sync::Arc;
+    use stochastics::{Constant, DiscretizedGaussian};
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        assert_eq!(combinations(4, 1), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(
+            combinations(4, 2),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+        assert_eq!(combinations(5, 0), vec![Vec::<usize>::new()]);
+        // Binomial sizes.
+        assert_eq!(combinations(6, 3).len(), 20);
+        assert_eq!(combinations(7, 2).len(), 21);
+    }
+
+    fn small_spec(budget: f64) -> GameSpec {
+        let mut b = GameSpecBuilder::new();
+        let t0 = b.alert_type(
+            "t0",
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(3.0, 1.0, 2)),
+        );
+        let t1 = b.alert_type("t1", 1.0, Arc::new(Constant(2)));
+        b.attacker(Attacker::new(
+            "e0",
+            1.0,
+            vec![
+                AttackAction::deterministic("v0", t0, 6.0, 0.4, 4.0),
+                AttackAction::deterministic("v1", t1, 7.0, 0.4, 4.0),
+            ],
+        ));
+        b.attacker(Attacker::new(
+            "e1",
+            1.0,
+            vec![AttackAction::deterministic("v1", t1, 5.0, 0.4, 4.0)],
+        ));
+        b.budget(budget);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ishm_improves_on_full_coverage_start() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(400, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut eval = ExactEvaluator::new(&spec, est);
+        let start = eval.evaluate(&spec.threshold_upper_bounds()).unwrap();
+        let out = Ishm::new(IshmConfig { epsilon: 0.1, ..Default::default() })
+            .solve(&spec, &mut eval)
+            .unwrap();
+        assert!(out.value <= start + 1e-9, "ISHM worsened: {} > {start}", out.value);
+        assert!(out.stats.thresholds_explored > 1);
+        assert!(out.stats.max_level >= 1);
+    }
+
+    #[test]
+    fn ishm_with_cggs_close_to_exact_inner() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(400, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+
+        let mut exact = ExactEvaluator::new(&spec, est);
+        let out_exact = Ishm::default_config().solve(&spec, &mut exact).unwrap();
+
+        let mut cggs = CggsEvaluator::new(&spec, est, CggsConfig::default());
+        let out_cggs = Ishm::default_config().solve(&spec, &mut cggs).unwrap();
+
+        // CGGS under-approximates the order set, so its value can only be
+        // equal or slightly worse; on a 2-type game they must coincide.
+        assert!(
+            (out_exact.value - out_cggs.value).abs() < 1e-5,
+            "exact {} vs cggs {}",
+            out_exact.value,
+            out_cggs.value
+        );
+    }
+
+    #[test]
+    fn coarser_epsilon_explores_fewer_candidates() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let fine = Ishm::new(IshmConfig { epsilon: 0.05, ..Default::default() })
+            .solve(&spec, &mut e1)
+            .unwrap();
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let coarse = Ishm::new(IshmConfig { epsilon: 0.5, ..Default::default() })
+            .solve(&spec, &mut e2)
+            .unwrap();
+        assert!(coarse.stats.thresholds_explored < fine.stats.thresholds_explored);
+        // Finer grid can only help (or tie) on the objective.
+        assert!(fine.value <= coarse.value + 1e-6);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let spec = small_spec(2.0);
+        let bank = spec.sample_bank(50, 0);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut eval = ExactEvaluator::new(&spec, est);
+        let bad = Ishm::new(IshmConfig { epsilon: 0.0, ..Default::default() });
+        assert!(bad.solve(&spec, &mut eval).is_err());
+        let bad = Ishm::new(IshmConfig { epsilon: 1.5, ..Default::default() });
+        assert!(bad.solve(&spec, &mut eval).is_err());
+    }
+
+    impl Ishm {
+        fn default_config() -> Self {
+            Ishm::new(IshmConfig::default())
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! One-call facade combining ISHM (threshold search) with an inner LP
+//! evaluator (exact enumeration or CGGS) — the full pipeline of the paper.
+
+use crate::cggs::CggsConfig;
+use crate::detection::{DetectionEstimator, DetectionModel};
+use crate::error::GameError;
+use crate::execute::AuditPolicy;
+use crate::ishm::{
+    CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats,
+};
+use crate::master::MasterSolution;
+use crate::model::GameSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which inner LP strategy evaluates threshold candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InnerKind {
+    /// Choose automatically: exact order enumeration up to 5 alert types
+    /// (≤ 120 orders), column generation beyond.
+    #[default]
+    Auto,
+    /// Materialize all `|T|!` orderings (small `|T|` only).
+    Exact,
+    /// Column Generation Greedy Search (Algorithm 1).
+    Cggs,
+}
+
+/// Facade configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// ISHM step size ε.
+    pub epsilon: f64,
+    /// Monte-Carlo sample count for `Pal` estimation.
+    pub n_samples: usize,
+    /// RNG seed (sample bank; everything downstream is deterministic).
+    pub seed: u64,
+    /// Inner LP strategy.
+    pub inner: InnerKind,
+    /// Detection-probability variant.
+    pub detection: DetectionModel,
+    /// Merge strategically identical attack actions before solving.
+    pub dedup_actions: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.1,
+            n_samples: 500,
+            seed: 0,
+            inner: InnerKind::Auto,
+            detection: DetectionModel::PaperApprox,
+            dedup_actions: true,
+        }
+    }
+}
+
+/// The solved audit policy plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct AuditSolution {
+    /// Deployable policy (thresholds + mixed orders).
+    pub policy: AuditPolicy,
+    /// Auditor's optimal (heuristic) loss.
+    pub loss: f64,
+    /// Master solution at the chosen thresholds.
+    pub master: MasterSolution,
+    /// ISHM search counters.
+    pub stats: SearchStats,
+}
+
+/// High-level OAP solver.
+#[derive(Debug, Clone)]
+pub struct OapSolver {
+    /// Configuration.
+    pub config: SolverConfig,
+}
+
+impl OapSolver {
+    /// Construct with a configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// Solve the full OAP: ISHM over thresholds with the configured inner
+    /// evaluator, returning a deployable policy.
+    pub fn solve(&self, spec: &GameSpec) -> Result<AuditSolution, GameError> {
+        spec.validate()?;
+        if self.config.n_samples == 0 {
+            return Err(GameError::InvalidConfig("n_samples must be positive".into()));
+        }
+        let working = if self.config.dedup_actions {
+            spec.dedup_actions()
+        } else {
+            spec.clone()
+        };
+        let bank = working.sample_bank(self.config.n_samples, self.config.seed);
+        let est = DetectionEstimator::new(&working, &bank, self.config.detection);
+        let ishm = Ishm::new(IshmConfig {
+            epsilon: self.config.epsilon,
+            ..Default::default()
+        });
+
+        let use_exact = match self.config.inner {
+            InnerKind::Exact => true,
+            InnerKind::Cggs => false,
+            InnerKind::Auto => working.n_types() <= 5,
+        };
+        let outcome: IshmOutcome = if use_exact {
+            let mut eval = ExactEvaluator::new(&working, est);
+            ishm.solve(&working, &mut eval)?
+        } else {
+            let mut eval = CggsEvaluator::new(&working, est, CggsConfig::default());
+            ishm.solve(&working, &mut eval)?
+        };
+
+        let policy = AuditPolicy::new(
+            outcome.thresholds.clone(),
+            outcome.orders.clone(),
+            outcome.master.p_orders.clone(),
+        );
+        Ok(AuditSolution {
+            policy,
+            loss: outcome.value,
+            master: outcome.master,
+            stats: outcome.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{random_game, RandomGameConfig};
+
+    #[test]
+    fn facade_solves_random_game_end_to_end() {
+        let spec = random_game(&RandomGameConfig::default(), 5);
+        let solver = OapSolver::new(SolverConfig {
+            n_samples: 100,
+            epsilon: 0.25,
+            ..Default::default()
+        });
+        let sol = solver.solve(&spec).unwrap();
+        assert!(sol.loss.is_finite());
+        assert!(sol.loss <= spec.max_possible_loss() + 1e-9);
+        let psum: f64 = sol.policy.probs.iter().sum();
+        assert!((psum - 1.0).abs() < 1e-6);
+        assert_eq!(sol.policy.thresholds.len(), spec.n_types());
+        assert!(sol.stats.thresholds_explored > 0);
+    }
+
+    #[test]
+    fn exact_and_auto_agree_on_small_games() {
+        let spec = random_game(&RandomGameConfig::default(), 11);
+        let auto = OapSolver::new(SolverConfig {
+            n_samples: 80,
+            epsilon: 0.25,
+            inner: InnerKind::Auto,
+            ..Default::default()
+        })
+        .solve(&spec)
+        .unwrap();
+        let exact = OapSolver::new(SolverConfig {
+            n_samples: 80,
+            epsilon: 0.25,
+            inner: InnerKind::Exact,
+            ..Default::default()
+        })
+        .solve(&spec)
+        .unwrap();
+        assert!((auto.loss - exact.loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_preserves_value() {
+        let mut cfg = RandomGameConfig::default();
+        cfg.n_victims = 12; // plenty of duplicate (type, payoff) actions
+        let spec = random_game(&cfg, 3);
+        let base = SolverConfig { n_samples: 80, epsilon: 0.3, ..Default::default() };
+        let with = OapSolver::new(SolverConfig { dedup_actions: true, ..base.clone() })
+            .solve(&spec)
+            .unwrap();
+        let without = OapSolver::new(SolverConfig { dedup_actions: false, ..base })
+            .solve(&spec)
+            .unwrap();
+        assert!(
+            (with.loss - without.loss).abs() < 1e-7,
+            "dedup changed the value: {} vs {}",
+            with.loss,
+            without.loss
+        );
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let spec = random_game(&RandomGameConfig::default(), 1);
+        let solver = OapSolver::new(SolverConfig { n_samples: 0, ..Default::default() });
+        assert!(solver.solve(&spec).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! creditsim — a synthetic credit-application dataset (the Rea B substitute).
+//!
+//! Rea B in the paper is the UCI Statlog (German Credit Data) set: 1000
+//! applications, 20 attributes, with 5 alert types defined over attribute
+//! combinations and the 8 application *purposes* acting as victims
+//! (Table IX). This crate synthesizes a schema-compatible stand-in offline:
+//!
+//! * [`schema`] — the attribute vocabulary (checking-account status, credit
+//!   history, purpose, skill level, …) as typed enums;
+//! * [`synth`] — a generator for `n` applications whose attribute marginals
+//!   are calibrated so that the five Table IX rules fire at the published
+//!   rates (370.04/82.42/5.13/28.21/8.31 per 1000 ± their stds per audit
+//!   batch);
+//! * [`reab`] — assembly of the Rea B game: 100 applicant-attackers × 8
+//!   purposes, benefits `[15,15,14,20,18]`, penalty 20, unit costs,
+//!   `p_e = 1`, opt-out allowed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod reab;
+pub mod schema;
+pub mod synth;
+
+pub use reab::{build_game, ReaBConfig};
+pub use schema::{Application, CheckingStatus, CreditHistory, Purpose, Skill};
+pub use synth::{generate_applications, SynthConfig};
+
+/// Table IX: mean alerts per audit batch of 1000 applications.
+pub const TABLE9_MEANS: [f64; 5] = [370.04, 82.42, 5.13, 28.21, 8.31];
+/// Table IX: standard deviations of per-batch alert counts.
+pub const TABLE9_STDS: [f64; 5] = [15.81, 7.87, 2.08, 5.25, 2.96];
+/// Table IX alert-type names.
+pub const TABLE9_NAMES: [&str; 5] = [
+    "No checking account, Any purpose",
+    "Checking < 0, New car, Education",
+    "Checking > 0, Unskilled, Education",
+    "Checking > 0, Unskilled, Appliance",
+    "Checking > 0, Critical account, Business",
+];
+/// Section V.A (Rea B): adversary benefit per alert type.
+pub const REA_B_BENEFITS: [f64; 5] = [15.0, 15.0, 14.0, 20.0, 18.0];
+/// Rea B: penalty for detection.
+pub const REA_B_PENALTY: f64 = 20.0;
+/// Rea B: cost of an attack and of an audit.
+pub const REA_B_UNIT_COST: f64 = 1.0;

@@ -1,0 +1,194 @@
+//! Assembly of the Rea B game (Section V.A, credit-card fraud auditing).
+//!
+//! 100 labelled applicants act as potential adversaries; each can "attack"
+//! one of the 8 application purposes (the victims), triggering the alert
+//! their attribute profile produces under that purpose. `F_t` is fitted
+//! from per-batch alert counts over repeated synthetic batches — the
+//! stand-in for "historical alert logs".
+
+use crate::schema::{Application, Purpose};
+use crate::synth::{alert_counts, generate_applications, SynthConfig};
+use audit_game::error::GameError;
+use audit_game::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
+use rand::seq::SliceRandom;
+use stochastics::rng::stream_rng;
+use tdmt::profile::{AlertProfile, FitKind};
+
+/// Rea B assembly parameters.
+#[derive(Debug, Clone)]
+pub struct ReaBConfig {
+    /// Batch synthesis settings.
+    pub synth: SynthConfig,
+    /// Historical batches used to fit `F_t`.
+    pub n_history_batches: usize,
+    /// Applicant-attackers (paper: 100).
+    pub n_attackers: usize,
+    /// Audit budget `B`.
+    pub budget: f64,
+    /// Count-model fit.
+    pub fit: FitKind,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ReaBConfig {
+    fn default() -> Self {
+        Self {
+            synth: SynthConfig::default(),
+            n_history_batches: 40,
+            n_attackers: 100,
+            budget: 10.0,
+            fit: FitKind::Gaussian,
+            seed: 0,
+        }
+    }
+}
+
+/// Build the Rea B game together with the fitted alert profile.
+pub fn build_game_with_profile(
+    config: &ReaBConfig,
+) -> Result<(GameSpec, AlertProfile), GameError> {
+    // Historical batches → per-type count series → F_t.
+    let mut observations: Vec<Vec<u64>> =
+        (0..5).map(|_| Vec::with_capacity(config.n_history_batches)).collect();
+    for b in 0..config.n_history_batches {
+        let apps = generate_applications(&config.synth, config.seed.wrapping_add(b as u64));
+        let counts = alert_counts(&apps);
+        for t in 0..5 {
+            observations[t].push(counts[t]);
+        }
+    }
+    let profile = AlertProfile::from_observations(
+        crate::TABLE9_NAMES.iter().map(|s| s.to_string()).collect(),
+        observations,
+        config.fit,
+    );
+
+    // The "current" batch provides the attacker population: labelled
+    // applications only, sampled uniformly.
+    let apps = generate_applications(&config.synth, config.seed.wrapping_add(777));
+    let mut labelled: Vec<&Application> =
+        apps.iter().filter(|a| a.alert_type().is_some()).collect();
+    let mut rng = stream_rng(config.seed, 99);
+    labelled.shuffle(&mut rng);
+    assert!(
+        labelled.len() >= config.n_attackers,
+        "batch produced too few labelled applications"
+    );
+
+    let mut b = GameSpecBuilder::new();
+    for t in 0..5 {
+        b.alert_type(
+            crate::TABLE9_NAMES[t],
+            crate::REA_B_UNIT_COST,
+            profile.distributions[t].clone(),
+        );
+    }
+    for app in labelled.into_iter().take(config.n_attackers) {
+        let actions: Vec<AttackAction> = Purpose::ALL
+            .iter()
+            .map(|&purpose| match app.alert_type_with_purpose(purpose) {
+                None => AttackAction::benign(
+                    format!("{purpose:?}"),
+                    crate::REA_B_UNIT_COST,
+                ),
+                Some(t) => AttackAction::deterministic(
+                    format!("{purpose:?}"),
+                    t,
+                    crate::REA_B_BENEFITS[t],
+                    crate::REA_B_UNIT_COST,
+                    crate::REA_B_PENALTY,
+                ),
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("app{}", app.id), 1.0, actions));
+    }
+    b.budget(config.budget);
+    b.allow_opt_out(true);
+    Ok((b.build()?, profile))
+}
+
+/// Build the Rea B game spec only.
+pub fn build_game(config: &ReaBConfig) -> Result<GameSpec, GameError> {
+    build_game_with_profile(config).map(|(spec, _)| spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rea_b_game_has_paper_shape() {
+        let (spec, profile) = build_game_with_profile(&ReaBConfig::default()).unwrap();
+        assert_eq!(spec.n_types(), 5);
+        assert_eq!(spec.n_attackers(), 100);
+        assert_eq!(spec.n_actions(), 800);
+        assert!(spec.allow_opt_out);
+        assert_eq!(profile.n_types(), 5);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn fitted_means_track_table9() {
+        let (_, profile) = build_game_with_profile(&ReaBConfig::default()).unwrap();
+        for t in 0..5 {
+            let tol = crate::TABLE9_STDS[t] * 1.5 + 2.0;
+            assert!(
+                (profile.means[t] - crate::TABLE9_MEANS[t]).abs() < tol,
+                "type {t}: fitted {} vs Table IX {}",
+                profile.means[t],
+                crate::TABLE9_MEANS[t]
+            );
+        }
+    }
+
+    #[test]
+    fn attackers_keep_their_profile_across_purposes() {
+        let spec = build_game(&ReaBConfig::default()).unwrap();
+        for att in &spec.attackers {
+            assert_eq!(att.actions.len(), 8);
+            // Rule 1 applicants (no checking account) alert on EVERY purpose.
+            let alerting = att.actions.iter().filter(|a| !a.alert_probs.is_empty()).count();
+            assert!(alerting >= 1, "labelled applicant must alert somewhere");
+            let all_type0 = att
+                .actions
+                .iter()
+                .all(|a| a.alert_probs.first().map(|&(t, _)| t == 0).unwrap_or(false));
+            if all_type0 {
+                assert_eq!(alerting, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_follow_benefit_vector() {
+        let spec = build_game(&ReaBConfig::default()).unwrap();
+        for att in &spec.attackers {
+            for act in &att.actions {
+                if let Some(&(t, _)) = act.alert_probs.first() {
+                    assert_eq!(act.reward, crate::REA_B_BENEFITS[t]);
+                    assert_eq!(act.penalty, crate::REA_B_PENALTY);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_game(&ReaBConfig::default()).unwrap();
+        let b = build_game(&ReaBConfig::default()).unwrap();
+        assert_eq!(a.n_actions(), b.n_actions());
+        for (x, y) in a.attackers.iter().zip(&b.attackers) {
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_populations() {
+        let a = build_game(&ReaBConfig::default()).unwrap();
+        let b = build_game(&ReaBConfig { seed: 1, ..Default::default() }).unwrap();
+        let names_a: Vec<_> = a.attackers.iter().map(|x| &x.name).collect();
+        let names_b: Vec<_> = b.attackers.iter().map(|x| &x.name).collect();
+        assert_ne!(names_a, names_b);
+    }
+}

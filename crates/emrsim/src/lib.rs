@@ -1,0 +1,64 @@
+//! emrsim — a synthetic EMR access-log workload (the Rea A substitute).
+//!
+//! The paper's Rea A dataset is 28 days of proprietary VUMC EMR access
+//! logs. This crate synthesizes a statistically matched replacement:
+//!
+//! * a hospital [`world::Hospital`] of employees (surname, department,
+//!   residence) and patients, some of whom are employees;
+//! * the four base alert predicates of Section V.A (same last name,
+//!   department co-worker, same address, neighbor ≤ 0.5 miles) and the
+//!   seven **combination alert types** of Table VIII;
+//! * a [`workload::WorkloadGenerator`] that emits daily access events whose
+//!   per-type alert counts follow Table VIII's means/stds, plus benign bulk
+//!   traffic and same-day repeats (the paper filters 79.5% repeats);
+//! * [`reaa::build_game`] — the full Rea A game: 50 employees × 50
+//!   patients, benefit vector `[10,12,12,24,25,25,27]`, penalty 15, unit
+//!   costs, `p_e = 1`, with `F_t` fitted from the simulated log.
+//!
+//! Fidelity note (see `DESIGN.md`): the game solvers consume only `F_t`,
+//! `P^t_ev`, and the payoff parameters. All of these are fully specified by
+//! the paper's published statistics, which this simulator matches; the raw
+//! event text it fills in around them is synthetic.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod reaa;
+pub mod world;
+pub mod workload;
+
+pub use reaa::{build_game, ReaAConfig};
+pub use workload::WorkloadGenerator;
+pub use world::{Hospital, HospitalConfig, PairProfile};
+
+/// Table VIII: per-type daily alert-count means.
+pub const TABLE8_MEANS: [f64; 7] = [183.21, 32.18, 113.89, 15.43, 23.75, 20.07, 32.07];
+/// Table VIII: per-type daily alert-count standard deviations.
+pub const TABLE8_STDS: [f64; 7] = [46.40, 23.14, 80.44, 14.61, 11.07, 11.49, 16.54];
+/// Table VIII alert-type names.
+pub const TABLE8_NAMES: [&str; 7] = [
+    "Same Last Name",
+    "Department Co-worker",
+    "Neighbor (<=0.5mi)",
+    "Last Name; Same address",
+    "Last Name; Neighbor",
+    "Same address; Neighbor",
+    "Last Name; Same address; Neighbor",
+];
+/// Base-rule subsets per combination type (0 = last name, 1 = department,
+/// 2 = address, 3 = neighbor).
+pub const TABLE8_SUBSETS: [&[usize]; 7] = [
+    &[0],
+    &[1],
+    &[3],
+    &[0, 2],
+    &[0, 3],
+    &[2, 3],
+    &[0, 2, 3],
+];
+/// Section V.A: adversary benefit per alert type (1–7).
+pub const REA_A_BENEFITS: [f64; 7] = [10.0, 12.0, 12.0, 24.0, 25.0, 25.0, 27.0];
+/// Section V.A: penalty for capture.
+pub const REA_A_PENALTY: f64 = 15.0;
+/// Section V.A: cost of an attack and of an audit (both 1).
+pub const REA_A_UNIT_COST: f64 = 1.0;

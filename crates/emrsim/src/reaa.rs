@@ -1,0 +1,277 @@
+//! Assembly of the Rea A game (Section V.A).
+//!
+//! Pipeline: simulate the observation window → filter repeats → fit `F_t`
+//! from the labelled log → pick 50 employees and 50 patients that generate
+//! at least one alert → build the 2500-action attack grid with the paper's
+//! payoff parameters.
+
+use crate::workload::{WorkloadConfig, WorkloadGenerator};
+use crate::world::{Hospital, HospitalConfig};
+use audit_game::error::GameError;
+use audit_game::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
+use rand::seq::SliceRandom;
+use stochastics::rng::stream_rng;
+use tdmt::profile::{AlertProfile, FitKind};
+
+/// Rea A assembly parameters.
+#[derive(Debug, Clone)]
+pub struct ReaAConfig {
+    /// World generation.
+    pub hospital: HospitalConfig,
+    /// Workload simulation.
+    pub workload: WorkloadConfig,
+    /// Employees in the attack grid (paper: 50).
+    pub n_attack_employees: usize,
+    /// Patients in the attack grid (paper: 50).
+    pub n_attack_patients: usize,
+    /// Audit budget `B`.
+    pub budget: f64,
+    /// Count-model fit.
+    pub fit: FitKind,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ReaAConfig {
+    fn default() -> Self {
+        Self {
+            hospital: HospitalConfig::default(),
+            workload: WorkloadConfig::default(),
+            n_attack_employees: 50,
+            n_attack_patients: 50,
+            budget: 10.0,
+            fit: FitKind::Gaussian,
+            seed: 0,
+        }
+    }
+}
+
+/// Build the Rea A game. Returns the spec together with the fitted alert
+/// profile (useful for reporting the simulated Table VIII statistics).
+pub fn build_game_with_profile(
+    config: &ReaAConfig,
+) -> Result<(GameSpec, AlertProfile), GameError> {
+    let hospital = Hospital::generate(config.hospital.clone(), config.seed);
+    let engine = Hospital::rule_engine();
+
+    // Simulate and fit F_t.
+    let generator = WorkloadGenerator::new(&hospital, config.workload.clone());
+    let mut log = generator.generate(config.seed);
+    log.dedup_daily();
+    let profile = AlertProfile::fit(&log, &engine, config.fit);
+
+    // Attack grid: employees/patients drawn from the planted pools so that
+    // "each employee and patient generates at least one alert".
+    let mut rng = stream_rng(config.seed, 77);
+    let mut employees: Vec<u32> = Vec::new();
+    let mut patients: Vec<u32> = Vec::new();
+    // Round-robin the seven pools for coverage of every alert type.
+    let mut cursor = [0usize; 7];
+    'outer: loop {
+        for t in 0..7 {
+            let pool = hospital.pool(t);
+            while cursor[t] < pool.len() {
+                let (e, p) = pool[cursor[t]];
+                cursor[t] += 1;
+                let fresh_e = !employees.contains(&e);
+                let fresh_p = !patients.contains(&p);
+                if employees.len() < config.n_attack_employees && fresh_e {
+                    employees.push(e);
+                }
+                if patients.len() < config.n_attack_patients && fresh_p {
+                    patients.push(p);
+                }
+                if employees.len() == config.n_attack_employees
+                    && patients.len() == config.n_attack_patients
+                {
+                    break 'outer;
+                }
+                if fresh_e || fresh_p {
+                    break;
+                }
+            }
+        }
+    }
+    employees.shuffle(&mut rng);
+    patients.shuffle(&mut rng);
+
+    // Game spec.
+    let mut b = GameSpecBuilder::new();
+    for t in 0..profile.n_types() {
+        b.alert_type(
+            profile.type_names[t].clone(),
+            crate::REA_A_UNIT_COST,
+            profile.distributions[t].clone(),
+        );
+    }
+    for &e in &employees {
+        let actions: Vec<AttackAction> = patients
+            .iter()
+            .map(|&p| {
+                let pair = hospital.profile(e, p);
+                let firing = pair.firing();
+                match resolve_alert_type(&firing) {
+                    None => AttackAction::benign(format!("p{p}"), crate::REA_A_UNIT_COST),
+                    Some(t) => AttackAction::deterministic(
+                        format!("p{p}"),
+                        t,
+                        crate::REA_A_BENEFITS[t],
+                        crate::REA_A_UNIT_COST,
+                        crate::REA_A_PENALTY,
+                    ),
+                }
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("emp{e}"), 1.0, actions));
+    }
+    b.budget(config.budget);
+    b.allow_opt_out(true);
+    Ok((b.build()?, profile))
+}
+
+/// Map a firing base-rule set to a Table VIII alert type: the exact match
+/// when registered, otherwise the **most specific registered subset**
+/// (largest cardinality, ties broken by higher adversary benefit) — how a
+/// deployed TDMT labels an event whose exact signal combination was never
+/// enumerated. Returns `None` when no registered subset fires (a
+/// vocabulary gap; the access goes unlabelled).
+pub fn resolve_alert_type(firing: &[usize]) -> Option<usize> {
+    if firing.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, usize, f64)> = None; // (type, size, benefit)
+    for (t, subset) in crate::TABLE8_SUBSETS.iter().enumerate() {
+        if subset.iter().all(|r| firing.contains(r)) {
+            let size = subset.len();
+            let benefit = crate::REA_A_BENEFITS[t];
+            let better = best
+                .map(|(_, bs, bb)| size > bs || (size == bs && benefit > bb))
+                .unwrap_or(true);
+            if better {
+                best = Some((t, size, benefit));
+            }
+        }
+    }
+    best.map(|(t, _, _)| t)
+}
+
+/// Build the Rea A game spec only.
+pub fn build_game(config: &ReaAConfig) -> Result<GameSpec, GameError> {
+    build_game_with_profile(config).map(|(spec, _)| spec)
+}
+
+/// A laptop-scale Rea A configuration used by tests, examples, and CI: a
+/// smaller hospital and shorter window, same statistical structure.
+pub fn small_config(seed: u64) -> ReaAConfig {
+    ReaAConfig {
+        hospital: HospitalConfig {
+            n_employees: 200,
+            n_patients: 800,
+            pool_size: 500,
+            benign_pool_size: 1000,
+            ..Default::default()
+        },
+        workload: WorkloadConfig {
+            n_days: 28,
+            benign_per_day: 400,
+            repeat_fraction: 0.4,
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_exact_and_fallback() {
+        // Exact registered subsets map to themselves.
+        for (t, subset) in crate::TABLE8_SUBSETS.iter().enumerate() {
+            assert_eq!(resolve_alert_type(subset), Some(t));
+        }
+        // [0,1]: most specific registered subset is [0] or [1]; benefit
+        // tie-break picks type 2 (department, benefit 12) over type 1 (10).
+        assert_eq!(resolve_alert_type(&[0, 1]), Some(1));
+        // Full house resolves to the triple (type 7, index 6).
+        assert_eq!(resolve_alert_type(&[0, 1, 2, 3]), Some(6));
+        // Address alone is a vocabulary gap.
+        assert_eq!(resolve_alert_type(&[2]), None);
+        assert_eq!(resolve_alert_type(&[]), None);
+    }
+
+    #[test]
+    fn rea_a_game_has_paper_shape() {
+        let (spec, profile) = build_game_with_profile(&small_config(5)).unwrap();
+        assert_eq!(spec.n_types(), 7);
+        assert_eq!(spec.n_attackers(), 50);
+        assert_eq!(spec.n_actions(), 2500);
+        assert!(spec.allow_opt_out);
+        assert_eq!(profile.n_types(), 7);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn every_attacker_has_an_alert_action() {
+        let spec = build_game(&small_config(5)).unwrap();
+        for att in &spec.attackers {
+            assert!(
+                att.actions.iter().any(|a| !a.alert_probs.is_empty()),
+                "attacker {} has no alert-bearing action",
+                att.name
+            );
+        }
+    }
+
+    #[test]
+    fn rewards_follow_benefit_vector() {
+        let spec = build_game(&small_config(5)).unwrap();
+        for att in &spec.attackers {
+            for act in &att.actions {
+                if let Some(&(t, _)) = act.alert_probs.first() {
+                    assert_eq!(act.reward, crate::REA_A_BENEFITS[t]);
+                    assert_eq!(act.penalty, crate::REA_A_PENALTY);
+                }
+                assert_eq!(act.attack_cost, crate::REA_A_UNIT_COST);
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_means_track_table8() {
+        let (_, profile) = build_game_with_profile(&small_config(5)).unwrap();
+        for t in 0..7 {
+            let target = crate::TABLE8_MEANS[t].min(500.0);
+            let tol = crate::TABLE8_STDS[t] * 0.75 + 8.0;
+            assert!(
+                (profile.means[t] - target).abs() < tol,
+                "type {t}: fitted mean {} vs target {target}",
+                profile.means[t]
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_attack_grid_rows() {
+        let spec = build_game(&small_config(5)).unwrap();
+        let deduped = spec.dedup_actions();
+        // 50 patients per attacker collapse to at most 8 distinct action
+        // classes (7 alert types + benign).
+        assert!(deduped.n_actions() <= 50 * 8);
+        assert!(deduped.n_actions() < spec.n_actions());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_game(&small_config(9)).unwrap();
+        let b = build_game(&small_config(9)).unwrap();
+        assert_eq!(a.n_actions(), b.n_actions());
+        for (x, y) in a.attackers.iter().zip(&b.attackers) {
+            assert_eq!(x.name, y.name);
+            for (ax, ay) in x.actions.iter().zip(&y.actions) {
+                assert_eq!(ax.alert_probs, ay.alert_probs);
+            }
+        }
+    }
+}

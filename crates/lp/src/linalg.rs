@@ -1,0 +1,233 @@
+//! Minimal dense linear algebra: LU decomposition with partial pivoting.
+//!
+//! Used for independent verification of simplex results (re-solving the
+//! optimal basis system `B x_B = b` and the dual system `Bᵀ y = c_B`) and by
+//! tests that cross-check duals extracted from the tableau.
+
+/// A dense column-major square matrix.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    n: usize,
+    /// Row-major storage.
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of dimension `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from row-major data.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        assert!(rows.iter().all(|r| r.len() == n), "matrix must be square");
+        let mut data = Vec::with_capacity(n * n);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·x`.
+    pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|j| (0..self.n).map(|i| self.get(i, j) * x[i]).sum())
+            .collect()
+    }
+}
+
+/// LU factorization `PA = LU` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorize; returns `None` when the matrix is numerically singular.
+    pub fn factorize(a: &DenseMatrix) -> Option<Self> {
+        let n = a.n;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Some(Self { n, lu, perm })
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Apply permutation, then forward substitution with unit-L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            for j in 0..i {
+                y[i] -= self.lu[i * n + j] * y[j];
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[i * n + j] * x[j];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Solve `Aᵀ y = c` (used for dual extraction `Bᵀ y = c_B`).
+    pub fn solve_transposed(&self, c: &[f64]) -> Vec<f64> {
+        assert_eq!(c.len(), self.n);
+        let n = self.n;
+        // Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P. Solve Uᵀ z = c (forward), Lᵀ w = z
+        // (backward), then y = Pᵀ w (scatter through the permutation).
+        let mut z = c.to_vec();
+        for i in 0..n {
+            for j in 0..i {
+                z[i] -= self.lu[j * n + i] * z[j];
+            }
+            z[i] /= self.lu[i * n + i];
+        }
+        let mut w = z;
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                w[i] -= self.lu[j * n + i] * w[j];
+            }
+        }
+        let mut y = vec![0.0; n];
+        for (pos, &orig) in self.perm.iter().enumerate() {
+            y[orig] = w[pos];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = example();
+        let lu = Lu::factorize(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_transposed_roundtrip() {
+        let a = example();
+        let lu = Lu::factorize(&a).unwrap();
+        let y_true = vec![0.5, 2.0, -1.5];
+        let c = a.mul_vec_transposed(&y_true);
+        let y = lu.solve_transposed(&c);
+        for (yi, ti) in y.iter().zip(&y_true) {
+            assert!((yi - ti).abs() < 1e-10, "{y:?} vs {y_true:?}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+        ]);
+        assert!(Lu::factorize(&a).is_none());
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let mut a = DenseMatrix::zeros(4);
+        for i in 0..4 {
+            a.set(i, i, 1.0);
+        }
+        let lu = Lu::factorize(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b), b);
+        assert_eq!(lu.solve_transposed(&b), b);
+    }
+
+    #[test]
+    fn permutation_heavy_case() {
+        // Leading zero forces pivoting immediately.
+        let a = DenseMatrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ]);
+        let lu = Lu::factorize(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! MPS-format import/export for LP models.
+//!
+//! MPS is the lingua franca of LP solvers; supporting it makes the embedded
+//! simplex independently checkable against external solvers (write a game
+//! master problem out, solve it with any industrial solver, compare). The
+//! dialect implemented is fixed-form-agnostic free MPS with the sections
+//! `NAME`, `ROWS`, `COLUMNS`, `RHS`, `BOUNDS`, `ENDATA` and the bound types
+//! `LO/UP/FX/FR/MI/PL`. Maximization is encoded with the common `OBJSENSE`
+//! extension.
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation, Sense, VarId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialize a problem to free-form MPS.
+#[allow(clippy::needless_range_loop)] // `j` names the column AND indexes
+pub fn to_mps(p: &Problem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME          ALERT_AUDIT_LP");
+    let _ = writeln!(out, "OBJSENSE");
+    let _ = writeln!(
+        out,
+        "    {}",
+        match p.sense() {
+            Sense::Minimize => "MIN",
+            Sense::Maximize => "MAX",
+        }
+    );
+    let _ = writeln!(out, "ROWS");
+    let _ = writeln!(out, " N  COST");
+    for i in 0..p.n_constraints() {
+        let tag = match p.constraint_relation(i) {
+            Relation::Le => 'L',
+            Relation::Eq => 'E',
+            Relation::Ge => 'G',
+        };
+        let _ = writeln!(out, " {tag}  R{i}");
+    }
+
+    // COLUMNS: objective + per-constraint coefficients, column-major.
+    let _ = writeln!(out, "COLUMNS");
+    let mut by_var: Vec<Vec<(usize, f64)>> = vec![Vec::new(); p.n_vars()];
+    for i in 0..p.n_constraints() {
+        for &(j, a) in p.constraint_terms(i) {
+            by_var[j].push((i, a));
+        }
+    }
+    for j in 0..p.n_vars() {
+        let obj = p.var_objective(j);
+        if obj != 0.0 {
+            let _ = writeln!(out, "    X{j}  COST  {obj}");
+        }
+        for &(i, a) in &by_var[j] {
+            let _ = writeln!(out, "    X{j}  R{i}  {a}");
+        }
+        if obj == 0.0 && by_var[j].is_empty() {
+            // Keep empty columns alive so indices round-trip.
+            let _ = writeln!(out, "    X{j}  COST  0");
+        }
+    }
+
+    let _ = writeln!(out, "RHS");
+    for i in 0..p.n_constraints() {
+        let rhs = p.constraint_rhs(i);
+        if rhs != 0.0 {
+            let _ = writeln!(out, "    RHS  R{i}  {rhs}");
+        }
+    }
+
+    let _ = writeln!(out, "BOUNDS");
+    for j in 0..p.n_vars() {
+        let (lo, hi) = p.var_bounds(j);
+        match (lo == f64::NEG_INFINITY, hi == f64::INFINITY) {
+            (true, true) => {
+                let _ = writeln!(out, " FR BND  X{j}");
+            }
+            (true, false) => {
+                let _ = writeln!(out, " MI BND  X{j}");
+                let _ = writeln!(out, " UP BND  X{j}  {hi}");
+            }
+            (false, true) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " LO BND  X{j}  {lo}");
+                }
+                // default PL upper bound
+            }
+            (false, false) => {
+                if lo == hi {
+                    let _ = writeln!(out, " FX BND  X{j}  {lo}");
+                } else {
+                    if lo != 0.0 {
+                        let _ = writeln!(out, " LO BND  X{j}  {lo}");
+                    }
+                    let _ = writeln!(out, " UP BND  X{j}  {hi}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "ENDATA");
+    out
+}
+
+/// Parse free-form MPS into a [`Problem`].
+///
+/// Supports the sections emitted by [`to_mps`]; unknown sections raise
+/// [`LpError::InvalidModel`].
+pub fn from_mps(text: &str) -> Result<Problem, LpError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        ObjSense,
+        Rows,
+        Columns,
+        Rhs,
+        Bounds,
+        Done,
+    }
+    let mut section = Section::None;
+    let mut sense = Sense::Minimize;
+    let mut obj_row: Option<String> = None;
+    let mut row_rel: Vec<(String, Relation)> = Vec::new();
+    let mut row_index: HashMap<String, usize> = HashMap::new();
+    // column name → (objective, terms per row index)
+    let mut col_order: Vec<String> = Vec::new();
+    let mut cols: HashMap<String, (f64, Vec<(usize, f64)>)> = HashMap::new();
+    let mut rhs: HashMap<usize, f64> = HashMap::new();
+    let mut bounds: HashMap<String, (f64, f64)> = HashMap::new();
+
+    let bad = |msg: &str| LpError::InvalidModel(format!("MPS parse error: {msg}"));
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim().is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let is_header = !raw.starts_with(' ') && !raw.starts_with('\t');
+        if is_header {
+            let mut words = line.split_whitespace();
+            match words.next().unwrap_or("") {
+                "NAME" => continue,
+                "OBJSENSE" => section = Section::ObjSense,
+                "ROWS" => section = Section::Rows,
+                "COLUMNS" => section = Section::Columns,
+                "RHS" => section = Section::Rhs,
+                "BOUNDS" => section = Section::Bounds,
+                "RANGES" => return Err(bad("RANGES section is not supported")),
+                "ENDATA" => section = Section::Done,
+                other => return Err(bad(&format!("unknown section {other}"))),
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::ObjSense => {
+                sense = match fields[0] {
+                    "MIN" | "MINIMIZE" => Sense::Minimize,
+                    "MAX" | "MAXIMIZE" => Sense::Maximize,
+                    other => return Err(bad(&format!("unknown objective sense {other}"))),
+                };
+            }
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(bad("ROWS lines need two fields"));
+                }
+                match fields[0] {
+                    "N" => obj_row = Some(fields[1].to_string()),
+                    tag => {
+                        let rel = match tag {
+                            "L" => Relation::Le,
+                            "G" => Relation::Ge,
+                            "E" => Relation::Eq,
+                            other => return Err(bad(&format!("unknown row type {other}"))),
+                        };
+                        row_index.insert(fields[1].to_string(), row_rel.len());
+                        row_rel.push((fields[1].to_string(), rel));
+                    }
+                }
+            }
+            Section::Columns => {
+                // Pairs of (row, value); either one or two pairs per line.
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
+                    return Err(bad("COLUMNS lines need a name plus (row, value) pairs"));
+                }
+                let name = fields[0].to_string();
+                if !cols.contains_key(&name) {
+                    col_order.push(name.clone());
+                    cols.insert(name.clone(), (0.0, Vec::new()));
+                }
+                let entry = cols.get_mut(&name).expect("inserted above");
+                for pair in fields[1..].chunks(2) {
+                    let value: f64 = pair[1].parse().map_err(|_| bad("bad numeric value"))?;
+                    if Some(pair[0]) == obj_row.as_deref() {
+                        entry.0 = value;
+                    } else {
+                        let &i = row_index
+                            .get(pair[0])
+                            .ok_or_else(|| bad(&format!("unknown row {}", pair[0])))?;
+                        entry.1.push((i, value));
+                    }
+                }
+            }
+            Section::Rhs => {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
+                    return Err(bad("RHS lines need a set name plus (row, value) pairs"));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let &i = row_index
+                        .get(pair[0])
+                        .ok_or_else(|| bad(&format!("unknown row {}", pair[0])))?;
+                    rhs.insert(i, pair[1].parse().map_err(|_| bad("bad rhs value"))?);
+                }
+            }
+            Section::Bounds => {
+                if fields.len() < 3 {
+                    return Err(bad("BOUNDS lines need type, set, column"));
+                }
+                let name = fields[2].to_string();
+                let (lo, hi) = bounds.entry(name).or_insert((0.0, f64::INFINITY));
+                match fields[0] {
+                    "LO" => *lo = fields[3].parse().map_err(|_| bad("bad bound"))?,
+                    "UP" => *hi = fields[3].parse().map_err(|_| bad("bad bound"))?,
+                    "FX" => {
+                        let v: f64 = fields[3].parse().map_err(|_| bad("bad bound"))?;
+                        *lo = v;
+                        *hi = v;
+                    }
+                    "FR" => {
+                        *lo = f64::NEG_INFINITY;
+                        *hi = f64::INFINITY;
+                    }
+                    "MI" => *lo = f64::NEG_INFINITY,
+                    "PL" => *hi = f64::INFINITY,
+                    other => return Err(bad(&format!("unknown bound type {other}"))),
+                }
+            }
+            Section::None => return Err(bad("data before any section header")),
+            Section::Done => return Err(bad("data after ENDATA")),
+        }
+    }
+    if obj_row.is_none() {
+        return Err(bad("no objective (N) row"));
+    }
+
+    // Assemble the Problem: columns in first-appearance order.
+    let mut p = Problem::new(sense);
+    let mut var_ids: HashMap<String, VarId> = HashMap::new();
+    for name in &col_order {
+        let (obj, _) = &cols[name];
+        let (lo, hi) = bounds.get(name).copied().unwrap_or((0.0, f64::INFINITY));
+        var_ids.insert(name.clone(), p.add_var(name.clone(), *obj, lo, hi));
+    }
+    for (i, (row_name, rel)) in row_rel.iter().enumerate() {
+        let mut terms = Vec::new();
+        for name in &col_order {
+            for &(ri, a) in &cols[name].1 {
+                if ri == i {
+                    terms.push((var_ids[name], a));
+                }
+            }
+        }
+        p.add_constraint(row_name.clone(), terms, *rel, rhs.get(&i).copied().unwrap_or(0.0));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wyndor() -> Problem {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", 5.0, 0.0, f64::INFINITY);
+        p.add_constraint("c1", vec![(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint("c2", vec![(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_optimum() {
+        let p = wyndor();
+        let mps = to_mps(&p);
+        let q = from_mps(&mps).unwrap();
+        let sp = p.solve().unwrap();
+        let sq = q.solve().unwrap();
+        assert!((sp.objective - sq.objective).abs() < 1e-9);
+        assert_eq!(p.n_vars(), q.n_vars());
+        assert_eq!(p.n_constraints(), q.n_constraints());
+    }
+
+    #[test]
+    fn roundtrip_bounds_and_sense() {
+        let mut p = Problem::minimize();
+        let a = p.add_var("a", 1.0, 2.0, 9.0);
+        let b = p.add_free_var("b", 1.0);
+        let c = p.add_var("c", 0.5, f64::NEG_INFINITY, 3.0);
+        let d = p.add_var("d", 0.0, 4.0, 4.0); // fixed
+        p.add_constraint("r", vec![(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)], Relation::Ge, 1.0);
+        // Bound b below so the model is bounded.
+        p.add_constraint("blb", vec![(b, 1.0)], Relation::Ge, -5.0);
+        let q = from_mps(&to_mps(&p)).unwrap();
+        let sp = p.solve().unwrap();
+        let sq = q.solve().unwrap();
+        assert!((sp.objective - sq.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn parses_equalities_and_defaults() {
+        let text = "NAME T\nROWS\n N  COST\n E  R0\nCOLUMNS\n    X0  COST  2  R0  1\n    X1  COST  1  R0  1\nRHS\n    RHS  R0  5\nENDATA\n";
+        let p = from_mps(text).unwrap();
+        let s = p.solve().unwrap();
+        // min 2x0 + x1 s.t. x0 + x1 = 5, defaults x ≥ 0 → all mass on x1.
+        assert!((s.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_mps("HELLO\n").is_err());
+        assert!(from_mps("ROWS\n N COST\nCOLUMNS\n    X0 NOPE 1\nENDATA\n").is_err());
+        assert!(from_mps("").is_err()); // no objective row
+        assert!(from_mps("RANGES\n").is_err());
+    }
+
+    #[test]
+    fn objsense_max_is_parsed() {
+        let mps = to_mps(&wyndor());
+        assert!(mps.contains("OBJSENSE"));
+        assert!(mps.contains("MAX"));
+        let q = from_mps(&mps).unwrap();
+        assert_eq!(q.sense(), Sense::Maximize);
+    }
+}

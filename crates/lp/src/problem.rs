@@ -1,0 +1,320 @@
+//! LP model builder: variables, bounds, constraints, objective sense.
+
+use crate::error::LpError;
+use crate::simplex::{self, SimplexOptions};
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ rhs`
+    Le,
+    /// `Σ aᵢxᵢ = rhs`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ rhs`
+    Ge,
+}
+
+/// Handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Positional index of the variable in insertion order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstrId(pub(crate) usize);
+
+impl ConstrId {
+    /// Positional index of the constraint in insertion order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Var {
+    pub name: String,
+    pub obj: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub name: String,
+    pub terms: Vec<(usize, f64)>,
+    pub rel: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables and constraints are appended; [`Problem::solve`] runs the
+/// two-phase simplex and returns a [`Solution`] carrying primal values,
+/// the objective, and dual values (shadow prices) per constraint.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Var>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Start an empty model with the given objective sense.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Convenience constructor for a minimization model.
+    pub fn minimize() -> Self {
+        Self::new(Sense::Minimize)
+    }
+
+    /// Convenience constructor for a maximization model.
+    pub fn maximize() -> Self {
+        Self::new(Sense::Maximize)
+    }
+
+    /// The optimization direction of the model.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a decision variable.
+    ///
+    /// * `obj` — objective coefficient;
+    /// * `lo` — lower bound (may be `f64::NEG_INFINITY` for a free variable);
+    /// * `hi` — upper bound (may be `f64::INFINITY`).
+    pub fn add_var(&mut self, name: impl Into<String>, obj: f64, lo: f64, hi: f64) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Var { name: name.into(), obj, lo, hi });
+        id
+    }
+
+    /// Add a free (unbounded both ways) variable.
+    pub fn add_free_var(&mut self, name: impl Into<String>, obj: f64) -> VarId {
+        self.add_var(name, obj, f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Add a linear constraint `Σ coeff·var (rel) rhs`.
+    ///
+    /// Duplicate variable references in `terms` are summed.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: Vec<(VarId, f64)>,
+        rel: Relation,
+        rhs: f64,
+    ) -> ConstrId {
+        let id = ConstrId(self.constraints.len());
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            debug_assert!(v.0 < self.vars.len(), "variable from another model");
+            if let Some(slot) = merged.iter_mut().find(|(idx, _)| *idx == v.0) {
+                slot.1 += c;
+            } else {
+                merged.push((v.0, c));
+            }
+        }
+        self.constraints.push(Constraint { name: name.into(), terms: merged, rel, rhs });
+        id
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Name of a constraint.
+    pub fn constraint_name(&self, c: ConstrId) -> &str {
+        &self.constraints[c.0].name
+    }
+
+    /// Relation of constraint `i` (insertion order).
+    pub fn constraint_relation(&self, i: usize) -> Relation {
+        self.constraints[i].rel
+    }
+
+    /// Right-hand side of constraint `i`.
+    pub fn constraint_rhs(&self, i: usize) -> f64 {
+        self.constraints[i].rhs
+    }
+
+    /// Terms `(variable index, coefficient)` of constraint `i`.
+    pub fn constraint_terms(&self, i: usize) -> &[(usize, f64)] {
+        &self.constraints[i].terms
+    }
+
+    /// Objective coefficient of variable `j` (insertion order).
+    pub fn var_objective(&self, j: usize) -> f64 {
+        self.vars[j].obj
+    }
+
+    /// Bounds `(lo, hi)` of variable `j`.
+    pub fn var_bounds(&self, j: usize) -> (f64, f64) {
+        (self.vars[j].lo, self.vars[j].hi)
+    }
+
+    /// Validate structural soundness (finite coefficients, consistent
+    /// bounds). Called by [`Problem::solve`]; exposed for early checking.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if !v.obj.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "objective coefficient of variable #{i} ({}) is not finite",
+                    v.name
+                )));
+            }
+            if v.lo.is_nan() || v.hi.is_nan() || v.lo > v.hi {
+                return Err(LpError::InvalidModel(format!(
+                    "variable #{i} ({}) has contradictory bounds [{}, {}]",
+                    v.name, v.lo, v.hi
+                )));
+            }
+            if v.lo == f64::INFINITY || v.hi == f64::NEG_INFINITY {
+                return Err(LpError::InvalidModel(format!(
+                    "variable #{i} ({}) has an empty domain",
+                    v.name
+                )));
+            }
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "constraint #{i} ({}) has non-finite rhs",
+                    c.name
+                )));
+            }
+            for &(_, coeff) in &c.terms {
+                if !coeff.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint #{i} ({}) has non-finite coefficient",
+                        c.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solve with explicit simplex options.
+    pub fn solve_with(&self, opts: &SimplexOptions) -> Result<Solution, LpError> {
+        self.validate()?;
+        simplex::solve(self, opts)
+    }
+
+    /// Evaluate the objective at a candidate point (for verification).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
+    }
+
+    /// Maximum constraint/bound violation at a candidate point.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        let mut worst: f64 = 0.0;
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if v.lo.is_finite() {
+                worst = worst.max(v.lo - xi);
+            }
+            if v.hi.is_finite() {
+                worst = worst.max(xi - v.hi);
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let viol = match c.rel {
+                Relation::Le => lhs - c.rhs,
+                Relation::Ge => c.rhs - lhs,
+                Relation::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_sizes_and_names() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, 0.0, 10.0);
+        let y = p.add_free_var("y", -1.0);
+        let c = p.add_constraint("cap", vec![(x, 1.0), (y, 2.0)], Relation::Le, 5.0);
+        assert_eq!(p.n_vars(), 2);
+        assert_eq!(p.n_constraints(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.var_name(y), "y");
+        assert_eq!(p.constraint_name(c), "cap");
+        assert_eq!(x.index(), 0);
+        assert_eq!(c.index(), 0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, 0.0, f64::INFINITY);
+        p.add_constraint("c", vec![(x, 1.0), (x, 2.0)], Relation::Eq, 6.0);
+        assert_eq!(p.constraints[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut p = Problem::minimize();
+        p.add_var("x", 1.0, 2.0, 1.0);
+        assert!(matches!(p.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn validate_rejects_nan_rhs() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, 0.0, 1.0);
+        p.add_constraint("c", vec![(x, 1.0)], Relation::Le, f64::NAN);
+        assert!(matches!(p.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn violation_and_objective_evaluators() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 2.0, 0.0, 4.0);
+        let y = p.add_var("y", 3.0, 0.0, f64::INFINITY);
+        p.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        assert_eq!(p.objective_at(&[1.0, 2.0]), 8.0);
+        assert!(p.max_violation(&[1.0, 2.0]) <= 0.0);
+        assert!((p.max_violation(&[5.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

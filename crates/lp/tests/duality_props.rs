@@ -1,0 +1,210 @@
+//! Property-based tests of LP optimality certificates.
+//!
+//! For randomly generated feasible bounded LPs we verify the three classic
+//! certificates the rest of the workspace relies on:
+//!
+//! 1. **primal feasibility** of the returned point,
+//! 2. **strong duality**: primal objective equals the dual objective
+//!    computed from the returned shadow prices,
+//! 3. **dual feasibility + complementary slackness**, which together are
+//!    what makes column-generation pricing (`reduced_cost_of_column`) sound.
+
+use lp_solver::{Problem, Relation, Sense};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-6;
+
+/// Random covering-style LP: min cᵀx s.t. Ax ≥ b, x ≥ 0 with strictly
+/// positive A entries and non-negative b, c. Always feasible (scale x up)
+/// and bounded (c ≥ 0 ⇒ objective ≥ 0).
+fn covering_lp(
+    n: usize,
+    m: usize,
+) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0.05f64..10.0, n),
+        proptest::collection::vec(proptest::collection::vec(0.1f64..5.0, n), m),
+        proptest::collection::vec(0.0f64..20.0, m),
+    )
+}
+
+/// Random packing-style LP: max cᵀx s.t. Ax ≤ b, 0 ≤ x. Always feasible
+/// (x = 0) and bounded (A > 0, b finite).
+fn packing_lp(
+    n: usize,
+    m: usize,
+) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0.0f64..10.0, n),
+        proptest::collection::vec(proptest::collection::vec(0.1f64..5.0, n), m),
+        proptest::collection::vec(0.5f64..20.0, m),
+    )
+}
+
+fn build(
+    sense: Sense,
+    rel: Relation,
+    c: &[f64],
+    a: &[Vec<f64>],
+    b: &[f64],
+) -> (Problem, Vec<lp_solver::VarId>, Vec<lp_solver::ConstrId>) {
+    let mut p = Problem::new(sense);
+    let xs: Vec<_> = c
+        .iter()
+        .enumerate()
+        .map(|(j, &cj)| p.add_var(format!("x{j}"), cj, 0.0, f64::INFINITY))
+        .collect();
+    let mut cs = Vec::new();
+    for (i, row) in a.iter().enumerate() {
+        let terms = xs.iter().copied().zip(row.iter().copied()).collect();
+        cs.push(p.add_constraint(format!("r{i}"), terms, rel, b[i]));
+    }
+    (p, xs, cs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn covering_lp_certificates((c, a, b) in covering_lp(5, 4)) {
+        let (p, _, _) = build(Sense::Minimize, Relation::Ge, &c, &a, &b);
+        let s = p.solve().unwrap();
+
+        // 1. Primal feasibility.
+        prop_assert!(p.max_violation(&s.x) < TOL);
+
+        // 2. Strong duality: cᵀx* = yᵀb.
+        let dual_obj: f64 = s.duals.iter().zip(&b).map(|(&y, &bi)| y * bi).sum();
+        prop_assert!((s.objective - dual_obj).abs() < TOL * (1.0 + s.objective.abs()),
+            "primal {} vs dual {}", s.objective, dual_obj);
+
+        // 3a. Dual feasibility: y ≥ 0 (for min/Ge rows) and yᵀA ≤ c.
+        for &y in &s.duals {
+            prop_assert!(y >= -TOL, "negative dual {y}");
+        }
+        for j in 0..c.len() {
+            let yta: f64 = s.duals.iter().zip(&a).map(|(&y, row)| y * row[j]).sum();
+            prop_assert!(yta <= c[j] + TOL, "dual infeasible at col {j}: {yta} > {}", c[j]);
+            // 3b. Complementary slackness: x_j > 0 ⇒ yᵀA_j = c_j.
+            if s.x[j] > TOL {
+                prop_assert!((yta - c[j]).abs() < 1e-5,
+                    "slackness violated at col {j}: x = {}, gap = {}", s.x[j], c[j] - yta);
+            }
+        }
+    }
+
+    #[test]
+    fn packing_lp_certificates((c, a, b) in packing_lp(5, 4)) {
+        let (p, _, _) = build(Sense::Maximize, Relation::Le, &c, &a, &b);
+        let s = p.solve().unwrap();
+
+        prop_assert!(p.max_violation(&s.x) < TOL);
+        prop_assert!(s.objective >= -TOL);
+
+        // Strong duality for max/Le: cᵀx* = yᵀb with y ≥ 0 and yᵀA ≥ c.
+        let dual_obj: f64 = s.duals.iter().zip(&b).map(|(&y, &bi)| y * bi).sum();
+        prop_assert!((s.objective - dual_obj).abs() < TOL * (1.0 + s.objective.abs()));
+        for &y in &s.duals {
+            prop_assert!(y >= -TOL);
+        }
+        for j in 0..c.len() {
+            let yta: f64 = s.duals.iter().zip(&a).map(|(&y, row)| y * row[j]).sum();
+            prop_assert!(yta >= c[j] - TOL);
+        }
+    }
+
+    #[test]
+    fn equality_lp_duality(
+        c in proptest::collection::vec(0.1f64..5.0, 4),
+        b0 in 1.0f64..20.0,
+    ) {
+        // min cᵀx s.t. Σx = b0, x ≥ 0: optimum is min(c)·b0 with dual min(c).
+        let mut p = Problem::minimize();
+        let xs: Vec<_> = c.iter().enumerate()
+            .map(|(j, &cj)| p.add_var(format!("x{j}"), cj, 0.0, f64::INFINITY))
+            .collect();
+        p.add_constraint("sum", xs.iter().map(|&x| (x, 1.0)).collect(), Relation::Eq, b0);
+        let s = p.solve().unwrap();
+        let cmin = c.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((s.objective - cmin * b0).abs() < TOL * (1.0 + b0));
+        prop_assert!((s.duals[0] - cmin).abs() < TOL);
+    }
+
+    #[test]
+    fn random_matrix_game_value_bounds(
+        entries in proptest::collection::vec(-5.0f64..5.0, 16),
+    ) {
+        // LP-computed game value must lie between maximin and minimax of
+        // pure strategies, and both orientations must agree.
+        let a: Vec<Vec<f64>> = entries.chunks(4).map(|r| r.to_vec()).collect();
+
+        let solve_side = |row_player: bool| -> f64 {
+            let mut p = if row_player { Problem::maximize() } else { Problem::minimize() };
+            let v = p.add_free_var("v", 1.0);
+            let ws: Vec<_> = (0..4)
+                .map(|i| p.add_var(format!("w{i}"), 0.0, 0.0, f64::INFINITY))
+                .collect();
+            for k in 0..4 {
+                let mut terms = vec![(v, -1.0)];
+                for (i, &w) in ws.iter().enumerate() {
+                    let coeff = if row_player { a[i][k] } else { a[k][i] };
+                    terms.push((w, coeff));
+                }
+                let rel = if row_player { Relation::Ge } else { Relation::Le };
+                p.add_constraint(format!("c{k}"), terms, rel, 0.0);
+            }
+            p.add_constraint("sum", ws.iter().map(|&w| (w, 1.0)).collect(), Relation::Eq, 1.0);
+            p.solve().unwrap().objective
+        };
+
+        let v_row = solve_side(true);
+        let v_col = solve_side(false);
+        prop_assert!((v_row - v_col).abs() < 1e-6, "row {v_row} vs col {v_col}");
+
+        let maximin = (0..4).map(|i| {
+            (0..4).map(|j| a[i][j]).fold(f64::INFINITY, f64::min)
+        }).fold(f64::NEG_INFINITY, f64::max);
+        let minimax = (0..4).map(|j| {
+            (0..4).map(|i| a[i][j]).fold(f64::NEG_INFINITY, f64::max)
+        }).fold(f64::INFINITY, f64::min);
+        prop_assert!(v_row >= maximin - 1e-6);
+        prop_assert!(v_row <= minimax + 1e-6);
+    }
+
+    #[test]
+    fn column_pricing_is_sound(
+        (c, a, b) in covering_lp(4, 3),
+        new_col in proptest::collection::vec(0.1f64..5.0, 3),
+        new_cost in 0.05f64..10.0,
+    ) {
+        // Solve, price an absent column, then actually add it and re-solve:
+        // a non-negative reduced cost must mean no improvement; a negative
+        // reduced cost must strictly improve a minimization.
+        let (p, _, cons) = build(Sense::Minimize, Relation::Ge, &c, &a, &b);
+        let s1 = p.solve().unwrap();
+        let coeffs: Vec<(lp_solver::ConstrId, f64)> = new_col
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (cons[i], v))
+            .collect();
+        let rc = s1.reduced_cost_of_column(new_cost, &coeffs);
+
+        let mut c2 = c.clone();
+        c2.push(new_cost);
+        let a2: Vec<Vec<f64>> = a.iter().enumerate()
+            .map(|(i, row)| { let mut r = row.clone(); r.push(new_col[i]); r })
+            .collect();
+        let (p2, _, _) = build(Sense::Minimize, Relation::Ge, &c2, &a2, &b);
+        let s2 = p2.solve().unwrap();
+
+        if rc >= 1e-7 {
+            prop_assert!(s2.objective >= s1.objective - 1e-6,
+                "rc {rc} >= 0 but objective improved {} -> {}", s1.objective, s2.objective);
+        }
+        if rc <= -1e-6 {
+            prop_assert!(s2.objective <= s1.objective + 1e-7,
+                "rc {rc} < 0 but objective did not improve {} -> {}",
+                s1.objective, s2.objective);
+        }
+    }
+}

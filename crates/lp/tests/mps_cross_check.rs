@@ -1,0 +1,83 @@
+//! MPS round-trip on randomly generated models: writing a problem out and
+//! parsing it back must preserve the optimum, the primal point (up to
+//! degenerate alternatives), and the duals' objective certificate.
+
+use lp_solver::{mps, Problem, Relation, Sense};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mps_roundtrip_preserves_optimum(
+        c in proptest::collection::vec(0.05f64..10.0, 4),
+        a in proptest::collection::vec(proptest::collection::vec(0.1f64..5.0, 4), 3),
+        b in proptest::collection::vec(0.0f64..20.0, 3),
+        maximize in any::<bool>(),
+    ) {
+        // Covering (min/Ge) or packing (max/Le) so the model is always
+        // feasible and bounded.
+        let (sense, rel) = if maximize {
+            (Sense::Maximize, Relation::Le)
+        } else {
+            (Sense::Minimize, Relation::Ge)
+        };
+        let mut p = Problem::new(sense);
+        let xs: Vec<_> = c.iter().enumerate()
+            .map(|(j, &cj)| p.add_var(format!("x{j}"), cj, 0.0, f64::INFINITY))
+            .collect();
+        for (i, row) in a.iter().enumerate() {
+            let rhs = if maximize { b[i] + 0.5 } else { b[i] };
+            let terms = xs.iter().copied().zip(row.iter().copied()).collect();
+            p.add_constraint(format!("r{i}"), terms, rel, rhs);
+        }
+
+        let text = mps::to_mps(&p);
+        let q = mps::from_mps(&text).unwrap();
+        prop_assert_eq!(p.n_vars(), q.n_vars());
+        prop_assert_eq!(p.n_constraints(), q.n_constraints());
+
+        let sp = p.solve().unwrap();
+        let sq = q.solve().unwrap();
+        prop_assert!((sp.objective - sq.objective).abs() < 1e-7 * (1.0 + sp.objective.abs()),
+            "objective drifted through MPS: {} vs {}", sp.objective, sq.objective);
+        // The re-parsed model must accept the original optimal point.
+        prop_assert!(q.max_violation(&sp.x) < 1e-7);
+    }
+}
+
+#[test]
+fn mps_of_a_game_master_is_reparsable() {
+    // Serialize the attacker-mixture master LP of a real game instance and
+    // make sure an external-solver-compatible artifact round-trips.
+    let mut p = Problem::maximize();
+    let mu = p.add_free_var("mu", 1.0);
+    let ys: Vec<_> = (0..6)
+        .map(|i| p.add_var(format!("y{i}"), 0.0, 0.0, f64::INFINITY))
+        .collect();
+    for e in 0..3 {
+        p.add_constraint(
+            format!("mass{e}"),
+            vec![(ys[2 * e], 1.0), (ys[2 * e + 1], 1.0)],
+            Relation::Eq,
+            1.0,
+        );
+    }
+    let utilities = [
+        [3.0, -1.0, 2.0, 0.5, -2.0, 1.0],
+        [-1.0, 2.5, 0.0, 1.5, 2.0, -0.5],
+    ];
+    for (o, row) in utilities.iter().enumerate() {
+        let mut terms = vec![(mu, 1.0)];
+        for (i, &u) in row.iter().enumerate() {
+            terms.push((ys[i], -u));
+        }
+        p.add_constraint(format!("order{o}"), terms, Relation::Le, 0.0);
+    }
+    let text = mps::to_mps(&p);
+    assert!(text.contains("ENDATA"));
+    let q = mps::from_mps(&text).unwrap();
+    let sp = p.solve().unwrap();
+    let sq = q.solve().unwrap();
+    assert!((sp.objective - sq.objective).abs() < 1e-8);
+}

@@ -1,0 +1,181 @@
+//! Common-random-number sample banks.
+//!
+//! The detection probability `Pal(o, b, t) ≈ E_Z[n_t(o,b,Z)/Z_t]` (eq. 1 of
+//! the paper) is estimated by Monte Carlo over joint count realizations
+//! `Z = (Z_1, …, Z_|T|)`. ISHM's accept/reject test compares objective values
+//! of *different* threshold vectors; if each evaluation drew fresh samples,
+//! sampling noise would routinely flip comparisons and derail the search.
+//! A [`SampleBank`] therefore freezes one matrix of realizations per solver
+//! run and evaluates every candidate policy on the same rows ("common random
+//! numbers"). The `ablation_crn` benchmark quantifies what goes wrong
+//! without this.
+
+use crate::discrete::CountDistribution;
+use crate::rng::stream_rng;
+
+/// A frozen matrix of joint alert-count realizations.
+///
+/// Row `s` is one realization of the benign workload: `row(s)[t]` is the
+/// number of benign type-`t` alerts in sample `s`. Types are sampled
+/// independently, matching the paper's per-type `F_t` model.
+#[derive(Debug, Clone)]
+pub struct SampleBank {
+    n_types: usize,
+    n_samples: usize,
+    /// Row-major `n_samples × n_types`.
+    data: Vec<u64>,
+}
+
+impl SampleBank {
+    /// Draw `n_samples` joint realizations from per-type distributions.
+    ///
+    /// Each type is sampled from its own derived RNG stream so that adding
+    /// or removing a type does not perturb the draws of the others.
+    pub fn generate(
+        dists: &[Box<dyn CountDistribution>],
+        n_samples: usize,
+        seed: u64,
+    ) -> Self {
+        Self::generate_from(dists.iter().map(|d| d.as_ref()), n_samples, seed)
+    }
+
+    /// As [`SampleBank::generate`] but borrowing unboxed distributions.
+    pub fn generate_from<'a, I>(dists: I, n_samples: usize, seed: u64) -> Self
+    where
+        I: IntoIterator<Item = &'a dyn CountDistribution>,
+    {
+        let dists: Vec<&dyn CountDistribution> = dists.into_iter().collect();
+        let n_types = dists.len();
+        assert!(n_types > 0, "need at least one alert type");
+        assert!(n_samples > 0, "need at least one sample");
+        let mut data = vec![0u64; n_samples * n_types];
+        for (t, dist) in dists.iter().enumerate() {
+            let mut rng = stream_rng(seed, t as u64);
+            for s in 0..n_samples {
+                data[s * n_types + t] = dist.sample(&mut rng);
+            }
+        }
+        Self { n_types, n_samples, data }
+    }
+
+    /// Build from explicit rows (used by tests and the hardness reduction,
+    /// where `Z` is deterministic).
+    pub fn from_rows(rows: Vec<Vec<u64>>) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let n_types = rows[0].len();
+        assert!(n_types > 0, "rows must be non-empty");
+        let n_samples = rows.len();
+        let mut data = Vec::with_capacity(n_samples * n_types);
+        for row in &rows {
+            assert_eq!(row.len(), n_types, "ragged sample rows");
+            data.extend_from_slice(row);
+        }
+        Self { n_types, n_samples, data }
+    }
+
+    /// Number of alert types per row.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    /// Number of realizations.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// One realization of the joint count vector `Z`.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[u64] {
+        &self.data[s * self.n_types..(s + 1) * self.n_types]
+    }
+
+    /// Iterate over all realizations.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.n_types)
+    }
+
+    /// Sample mean count of type `t` across the bank.
+    pub fn mean_count(&self, t: usize) -> f64 {
+        assert!(t < self.n_types, "type index out of range");
+        let sum: u64 = self.rows().map(|r| r[t]).sum();
+        sum as f64 / self.n_samples as f64
+    }
+
+    /// Largest observed count of type `t` in the bank.
+    pub fn max_count(&self, t: usize) -> u64 {
+        assert!(t < self.n_types, "type index out of range");
+        self.rows().map(|r| r[t]).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::{Constant, DiscretizedGaussian, UniformCount};
+
+    fn dists() -> Vec<Box<dyn CountDistribution>> {
+        vec![
+            Box::new(DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5)),
+            Box::new(UniformCount::new(0, 4)),
+            Box::new(Constant(3)),
+        ]
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = SampleBank::generate(&dists(), 500, 99);
+        let b = SampleBank::generate(&dists(), 500, 99);
+        assert_eq!(a.n_samples(), 500);
+        assert_eq!(a.n_types(), 3);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SampleBank::generate(&dists(), 200, 1);
+        let b = SampleBank::generate(&dists(), 200, 2);
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn per_type_streams_are_stable() {
+        // Adding a new type must not change the draws of existing types.
+        let all = dists();
+        let narrow =
+            SampleBank::generate_from(all[..2].iter().map(|d| d.as_ref()), 100, 5);
+        let wide = SampleBank::generate(&all, 100, 5);
+        for s in 0..100 {
+            assert_eq!(narrow.row(s)[0], wide.row(s)[0]);
+            assert_eq!(narrow.row(s)[1], wide.row(s)[1]);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_constant() {
+        let bank = SampleBank::generate(&dists(), 50, 3);
+        assert!(bank.rows().all(|r| r[2] == 3));
+        assert_eq!(bank.max_count(2), 3);
+        assert!((bank.mean_count(2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_tracks_distribution() {
+        let bank = SampleBank::generate(&dists(), 20_000, 11);
+        assert!((bank.mean_count(0) - 6.0).abs() < 0.1);
+        assert!((bank.mean_count(1) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let bank = SampleBank::from_rows(vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(bank.n_samples(), 3);
+        assert_eq!(bank.row(1), &[3, 4]);
+        assert_eq!(bank.max_count(1), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        SampleBank::from_rows(vec![vec![1, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Goodness-of-fit diagnostics for count models.
+//!
+//! The real-data substitutes (`emrsim`, `creditsim`) fit `F_t` from
+//! simulated logs; these statistics quantify how well a fitted
+//! [`CountDistribution`] explains observed counts. Two classic measures:
+//!
+//! * [`chi_square`] — Pearson's χ² over pooled bins (bins with expected
+//!   mass below a floor are merged, per standard practice);
+//! * [`ks_statistic`] — the discrete Kolmogorov–Smirnov sup-distance
+//!   between empirical and model CDFs.
+
+use crate::discrete::CountDistribution;
+
+/// Pearson χ² statistic and its degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (pooled bins − 1).
+    pub dof: usize,
+}
+
+impl ChiSquare {
+    /// Crude large-dof acceptance check: a χ² variable with `k` degrees of
+    /// freedom has mean `k` and variance `2k`; values beyond
+    /// `k + z·√(2k)` are rejected. Good enough for simulator self-checks
+    /// without shipping an incomplete-gamma implementation.
+    pub fn plausible(&self, z: f64) -> bool {
+        let k = self.dof.max(1) as f64;
+        self.statistic <= k + z * (2.0 * k).sqrt()
+    }
+}
+
+/// Pearson χ² of observations against a fitted model.
+///
+/// Bins are the model's support values; adjacent bins are pooled until each
+/// has expected count ≥ `min_expected` (5 is the classical rule of thumb).
+pub fn chi_square(
+    obs: &[u64],
+    model: &dyn CountDistribution,
+    min_expected: f64,
+) -> ChiSquare {
+    assert!(!obs.is_empty(), "need observations");
+    let n = obs.len() as f64;
+    let lo = model.support_min();
+    let hi = model.support_max();
+
+    // Observed histogram over the model support (out-of-support mass goes
+    // to the nearest edge bin).
+    let width = (hi - lo + 1) as usize;
+    let mut observed = vec![0.0f64; width];
+    for &o in obs {
+        let idx = o.clamp(lo, hi) - lo;
+        observed[idx as usize] += 1.0;
+    }
+    let expected: Vec<f64> = (lo..=hi).map(|k| model.pmf(k) * n).collect();
+
+    // Pool adjacent bins until each pooled bin reaches the floor.
+    let mut stat = 0.0;
+    let mut bins = 0usize;
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for i in 0..width {
+        acc_o += observed[i];
+        acc_e += expected[i];
+        let last = i == width - 1;
+        if acc_e >= min_expected || last {
+            if acc_e > 0.0 {
+                stat += (acc_o - acc_e).powi(2) / acc_e;
+                bins += 1;
+            }
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    ChiSquare { statistic: stat, dof: bins.saturating_sub(1).max(1) }
+}
+
+/// Discrete Kolmogorov–Smirnov statistic `sup_n |F̂(n) − F(n)|`.
+pub fn ks_statistic(obs: &[u64], model: &dyn CountDistribution) -> f64 {
+    assert!(!obs.is_empty(), "need observations");
+    let n = obs.len() as f64;
+    let hi = model.support_max().max(*obs.iter().max().expect("non-empty"));
+    let mut sorted = obs.to_vec();
+    sorted.sort_unstable();
+    let mut worst: f64 = 0.0;
+    let mut cum_model = 0.0;
+    let mut idx = 0usize;
+    for k in 0..=hi {
+        cum_model += model.pmf(k);
+        while idx < sorted.len() && sorted[idx] <= k {
+            idx += 1;
+        }
+        let cum_emp = idx as f64 / n;
+        worst = worst.max((cum_emp - cum_model).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::{DiscretizedGaussian, UniformCount};
+    use crate::rng::seeded_rng;
+
+    fn draws(d: &dyn CountDistribution, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn chi_square_accepts_own_samples() {
+        let d = DiscretizedGaussian::with_halfwidth(10.0, 2.5, 7);
+        let obs = draws(&d, 4000, 3);
+        let c = chi_square(&obs, &d, 5.0);
+        assert!(c.plausible(4.0), "χ² {} with dof {}", c.statistic, c.dof);
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_model() {
+        let truth = DiscretizedGaussian::with_halfwidth(10.0, 2.5, 7);
+        let wrong = UniformCount::new(3, 17);
+        let obs = draws(&truth, 4000, 3);
+        let c = chi_square(&obs, &wrong, 5.0);
+        assert!(!c.plausible(6.0), "uniform should be rejected: χ² {}", c.statistic);
+    }
+
+    #[test]
+    fn ks_small_for_matching_model() {
+        let d = DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5);
+        let obs = draws(&d, 5000, 9);
+        let ks = ks_statistic(&obs, &d);
+        assert!(ks < 0.03, "KS {ks}");
+    }
+
+    #[test]
+    fn ks_large_for_shifted_model() {
+        let truth = DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5);
+        let shifted = DiscretizedGaussian::with_halfwidth(9.0, 2.0, 5);
+        let obs = draws(&truth, 5000, 9);
+        assert!(ks_statistic(&obs, &shifted) > 0.3);
+    }
+
+    #[test]
+    fn ks_is_bounded_by_one() {
+        let d = UniformCount::new(0, 3);
+        let obs = vec![100u64; 50]; // far outside support
+        let ks = ks_statistic(&obs, &d);
+        assert!(ks <= 1.0 + 1e-12 && ks > 0.9);
+    }
+}

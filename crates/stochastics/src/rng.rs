@@ -1,0 +1,64 @@
+//! Deterministic RNG construction helpers.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64` seed
+//! and derives its generator through these helpers, so experiments are
+//! reproducible bit-for-bit across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a [`StdRng`] from a `u64` seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent sub-seed from a parent seed and a stream label.
+///
+/// Uses the SplitMix64 output function, which is a bijective mixer with good
+/// avalanche behaviour; distinct `(seed, stream)` pairs yield uncorrelated
+/// generators for all practical purposes.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a sub-RNG for a named stream of a parent seed.
+pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    seeded_rng(derive_seed(seed, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let a: Vec<u32> = (0..16).map(|_| seeded_rng(42).gen()).collect();
+        let b: Vec<u32> = (0..16).map(|_| seeded_rng(42).gen()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = stream_rng(7, 0);
+        let mut b = stream_rng(7, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_seed_is_injective_on_small_ranges() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64u64 {
+            for st in 0..64u64 {
+                seen.insert(derive_seed(s, st));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64);
+    }
+}

@@ -1,0 +1,116 @@
+//! Summary statistics used by the experiment harness and tests.
+
+/// Mean of a slice of f64 values.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|&x| (x - m).powi(2)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Minimum of a slice (panics on empty input or NaNs).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("NaN in min"))
+        .expect("min of empty slice")
+}
+
+/// Maximum of a slice (panics on empty input or NaNs).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("NaN in max"))
+        .expect("max of empty slice")
+}
+
+/// Linear-interpolation quantile (`q` in [0,1]) of an unsorted slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean absolute relative deviation `1/n Σ |approx_i − exact_i| / |exact_i|`.
+///
+/// This is the γ quality metric of Section IV.C (Table VI) expressed as a
+/// *deviation*; the paper reports `γ = 1 − deviation` as "precision". Pairs
+/// whose exact value is (numerically) zero are skipped, as relative error is
+/// undefined there.
+pub fn mean_relative_deviation(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&a, &e) in approx.iter().zip(exact) {
+        if e.abs() > 1e-12 {
+            total += (a - e).abs() / e.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        let expected_sd = (5.0f64 / 3.0).sqrt();
+        assert!((std_dev(&xs) - expected_sd).abs() < 1e-12);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 4.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_deviation_matches_hand_computation() {
+        let exact = [10.0, -5.0, 0.0];
+        let approx = [11.0, -4.0, 3.0];
+        // |1|/10 + |1|/5 over 2 usable pairs = (0.1 + 0.2)/2.
+        let d = mean_relative_deviation(&approx, &exact);
+        assert!((d - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_zero_for_identical() {
+        let xs = [1.0, 2.0, -3.0];
+        assert_eq!(mean_relative_deviation(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_singleton_is_zero() {
+        assert_eq!(std_dev(&[7.0]), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: build a small audit game, solve it, inspect the policy, and
+//! execute one audit period.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alert_audit::game::execute::{execute_policy, RealizedAlert};
+use alert_audit::game::model::{AttackAction, Attacker, GameSpecBuilder};
+use alert_audit::prelude::*;
+use std::sync::Arc;
+use stochastics::DiscretizedGaussian;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Describe the alert landscape: three alert types with Gaussian
+    //    benign counts and unit audit costs.
+    // ------------------------------------------------------------------
+    let mut builder = GameSpecBuilder::new();
+    let t_vip = builder.alert_type(
+        "VIP record access",
+        1.0,
+        Arc::new(DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5)),
+    );
+    let t_coworker = builder.alert_type(
+        "Co-worker record access",
+        1.0,
+        Arc::new(DiscretizedGaussian::with_halfwidth(4.0, 1.5, 4)),
+    );
+    let t_neighbor = builder.alert_type(
+        "Neighbor record access",
+        1.0,
+        Arc::new(DiscretizedGaussian::with_halfwidth(3.0, 1.0, 3)),
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Describe who might attack what, and what it is worth to them.
+    // ------------------------------------------------------------------
+    for (i, &(t, reward)) in [(t_vip, 8.0), (t_coworker, 6.0), (t_neighbor, 5.0)]
+        .iter()
+        .enumerate()
+    {
+        builder.attacker(Attacker::new(
+            format!("insider-{i}"),
+            1.0,
+            vec![
+                AttackAction::deterministic("victim-record", t, reward, 0.5, 6.0),
+                AttackAction::benign("harmless-record", 0.5),
+            ],
+        ));
+    }
+    builder.budget(4.0);
+    builder.allow_opt_out(true);
+    let spec = builder.build().expect("valid game");
+
+    // ------------------------------------------------------------------
+    // 3. Solve the Stackelberg game: ISHM threshold search over an exact
+    //    inner LP (3 types → 6 orderings).
+    // ------------------------------------------------------------------
+    let solver = OapSolver::new(SolverConfig {
+        epsilon: 0.1,
+        n_samples: 500,
+        seed: 7,
+        ..Default::default()
+    });
+    let solution = solver.solve(&spec).expect("solvable game");
+
+    println!("auditor's optimal loss: {:.4}", solution.loss);
+    println!("thresholds (audit slots per type):");
+    for (t, b) in solution.policy.thresholds.iter().enumerate() {
+        println!("  {:<28} {:>4.0}", spec.alert_types[t].name, b);
+    }
+    println!("mixed strategy over audit orders:");
+    for (o, p) in solution.policy.orders.iter().zip(&solution.policy.probs) {
+        if *p > 1e-4 {
+            println!("  order {o}  with probability {p:.4}");
+        }
+    }
+    println!(
+        "ISHM explored {} threshold vectors",
+        solution.stats.thresholds_explored
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Use the policy operationally: one day of realized alerts.
+    // ------------------------------------------------------------------
+    let alerts: Vec<RealizedAlert> = (0..6)
+        .map(|i| RealizedAlert { alert_type: (i % 3) as usize, id: 100 + i })
+        .collect();
+    let mut rng = stochastics::seeded_rng(99);
+    let run = execute_policy(&solution.policy, &spec, &alerts, &mut rng);
+    println!(
+        "today: drew order {}, audited {} of {} alerts, spent {:.1} of {:.1}",
+        run.order,
+        run.n_audited(),
+        alerts.len(),
+        run.spent,
+        spec.budget
+    );
+}

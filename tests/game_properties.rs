@@ -1,0 +1,145 @@
+//! Property-based tests of game-level invariants on randomly generated
+//! instances.
+
+use alert_audit::game::datasets::{random_game, RandomGameConfig};
+use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
+use alert_audit::game::master::MasterSolver;
+use alert_audit::game::ordering::AuditOrder;
+use alert_audit::game::payoff::PayoffMatrix;
+use proptest::prelude::*;
+
+fn cfg(n_types: usize, opt_out: bool, budget: f64) -> RandomGameConfig {
+    RandomGameConfig {
+        n_types,
+        n_attackers: 4,
+        n_victims: 6,
+        budget,
+        allow_opt_out: opt_out,
+        benign_prob: 0.15,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The game value is a saddle point: no attacker can gain by deviating
+    /// (loss under best responses equals the LP value), and every pure
+    /// auditor order does at least as badly as the mixture.
+    #[test]
+    fn master_value_is_a_saddle_point(seed in 0u64..500, opt_out in any::<bool>()) {
+        let spec = random_game(&cfg(3, opt_out, 4.0), seed);
+        let bank = spec.sample_bank(60, seed);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let orders = AuditOrder::enumerate_all(3);
+        let thresholds = vec![3.0, 3.0, 3.0];
+        let m = PayoffMatrix::build(&spec, &est, orders, &thresholds);
+        let sol = MasterSolver::solve(&spec, &m).unwrap();
+
+        // (a) realized loss of the mixture equals the LP value;
+        let loss = m.loss_under_mixture(&spec, &sol.p_orders);
+        prop_assert!((loss - sol.value).abs() < 1e-6,
+            "loss {loss} vs value {}", sol.value);
+
+        // (b) every pure strategy is weakly worse for the auditor.
+        for k in 0..m.n_orders() {
+            let mut pure = vec![0.0; m.n_orders()];
+            pure[k] = 1.0;
+            let pure_loss = m.loss_under_mixture(&spec, &pure);
+            prop_assert!(pure_loss >= sol.value - 1e-6,
+                "pure order {k} loss {pure_loss} beats value {}", sol.value);
+        }
+
+        // (c) u_e decomposition: Σ p_e·u_e = value.
+        let decomposed: f64 = spec.attackers.iter().zip(&sol.u_attackers)
+            .map(|(a, &u)| a.attack_prob * u)
+            .sum();
+        prop_assert!((decomposed - sol.value).abs() < 1e-6);
+    }
+
+    /// Raising the budget can only help the auditor.
+    #[test]
+    fn value_monotone_in_budget(seed in 0u64..200) {
+        let mut prev = f64::INFINITY;
+        for budget in [1.0, 3.0, 6.0, 12.0] {
+            let spec = random_game(&cfg(3, false, budget), seed);
+            let bank = spec.sample_bank(60, 99);
+            let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+            let orders = AuditOrder::enumerate_all(3);
+            let thresholds = spec.threshold_upper_bounds();
+            let m = PayoffMatrix::build(&spec, &est, orders, &thresholds);
+            let v = MasterSolver::solve(&spec, &m).unwrap().value;
+            prop_assert!(v <= prev + 1e-6, "budget {budget}: {v} > {prev}");
+            prev = v;
+        }
+    }
+
+    /// With opting out allowed, the value is capped by the no-opt-out value
+    /// and floored at... nothing specific, but each u_e must be ≥ 0.
+    #[test]
+    fn opt_out_only_helps_attackers_stay_home(seed in 0u64..200) {
+        let spec_free = random_game(&cfg(3, true, 4.0), seed);
+        let mut spec_locked = spec_free.clone();
+        spec_locked.allow_opt_out = false;
+        let bank = spec_free.sample_bank(60, 5);
+        let est_free = DetectionEstimator::new(&spec_free, &bank, DetectionModel::PaperApprox);
+        let est_locked = DetectionEstimator::new(&spec_locked, &bank, DetectionModel::PaperApprox);
+        let orders = AuditOrder::enumerate_all(3);
+        let thresholds = vec![3.0, 3.0, 3.0];
+
+        let m_free = PayoffMatrix::build(&spec_free, &est_free, orders.clone(), &thresholds);
+        let sol_free = MasterSolver::solve(&spec_free, &m_free).unwrap();
+        let m_locked = PayoffMatrix::build(&spec_locked, &est_locked, orders, &thresholds);
+        let sol_locked = MasterSolver::solve(&spec_locked, &m_locked).unwrap();
+
+        for &u in &sol_free.u_attackers {
+            prop_assert!(u >= -1e-7, "opt-out attacker with negative utility {u}");
+        }
+        // Opting out floors each attacker's utility at 0, so the total can
+        // only be ≥ the unconstrained (possibly negative) total.
+        prop_assert!(sol_free.value >= sol_locked.value - 1e-6);
+    }
+
+    /// Pal is a probability vector and is monotone in thresholds.
+    #[test]
+    fn pal_bounds_and_monotonicity(seed in 0u64..300) {
+        let spec = random_game(&cfg(3, false, 5.0), seed);
+        let bank = spec.sample_bank(80, seed ^ 7);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let order = AuditOrder::identity(3);
+        let lo = vec![1.0, 1.0, 1.0];
+        let hi = vec![4.0, 4.0, 4.0];
+        let pal_lo = est.pal(&order, &lo);
+        let pal_hi = est.pal(&order, &hi);
+        for t in 0..3 {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pal_lo[t]));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pal_hi[t]));
+        }
+        // The FIRST type in the order can only gain from its own threshold
+        // increasing (later types may lose budget, so no global claim).
+        prop_assert!(pal_hi[0] >= pal_lo[0] - 1e-9);
+    }
+
+    /// Dedup never changes the game value.
+    #[test]
+    fn dedup_is_value_preserving(seed in 0u64..200) {
+        let spec = random_game(&RandomGameConfig {
+            n_victims: 10,
+            ..cfg(3, true, 4.0)
+        }, seed);
+        let deduped = spec.dedup_actions();
+        let bank = spec.sample_bank(50, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let est_d = DetectionEstimator::new(&deduped, &bank, DetectionModel::PaperApprox);
+        let orders = AuditOrder::enumerate_all(3);
+        let thresholds = vec![2.0, 2.0, 2.0];
+        let v = MasterSolver::solve(
+            &spec,
+            &PayoffMatrix::build(&spec, &est, orders.clone(), &thresholds),
+        ).unwrap().value;
+        let vd = MasterSolver::solve(
+            &deduped,
+            &PayoffMatrix::build(&deduped, &est_d, orders, &thresholds),
+        ).unwrap().value;
+        prop_assert!((v - vd).abs() < 1e-7, "dedup changed value {v} -> {vd}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Theorem 1 end to end: random knapsack instances, mapped to OAP games and
+//! solved exactly, must satisfy `OAP* = |E| − knapsack*`.
+
+use alert_audit::game::hardness::{
+    knapsack_to_oap, solve_knapsack, verify_reduction, KnapsackInstance,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn reduction_identity_holds(
+        weights in proptest::collection::vec(1u64..=5, 2..=6),
+        values in proptest::collection::vec(0u64..=4, 2..=6),
+        cap_frac in 0.1f64..0.9,
+    ) {
+        let n = weights.len().min(values.len());
+        let weights = weights[..n].to_vec();
+        let values = values[..n].to_vec();
+        let total: u64 = weights.iter().sum();
+        let capacity = ((total as f64 * cap_frac) as u64).max(1);
+        let inst = KnapsackInstance::new(weights, values, capacity);
+        let (oap, expected) = verify_reduction(&inst);
+        prop_assert!((oap - expected).abs() < 1e-6,
+            "OAP {oap} vs |E|−OPT {expected} on {inst:?}");
+    }
+
+    #[test]
+    fn knapsack_dp_respects_capacity_and_dominance(
+        weights in proptest::collection::vec(1u64..=8, 1..=10),
+        values in proptest::collection::vec(0u64..=9, 1..=10),
+        capacity in 0u64..=30,
+    ) {
+        let n = weights.len().min(values.len());
+        let inst = KnapsackInstance::new(
+            weights[..n].to_vec(),
+            values[..n].to_vec(),
+            capacity,
+        );
+        let sol = solve_knapsack(&inst);
+        let w: u64 = sol.items.iter().map(|&i| inst.weights[i]).sum();
+        prop_assert!(w <= capacity);
+        let v: u64 = sol.items.iter().map(|&i| inst.values[i]).sum();
+        prop_assert_eq!(v, sol.value);
+        // Greedy single-item lower bound.
+        for i in 0..n {
+            if inst.weights[i] <= capacity {
+                prop_assert!(sol.value >= inst.values[i]);
+            }
+        }
+        prop_assert!(sol.value <= inst.total_value());
+    }
+}
+
+#[test]
+fn reduction_spec_is_the_theorem_construction() {
+    let inst = KnapsackInstance::new(vec![3, 2], vec![2, 3], 4);
+    let spec = knapsack_to_oap(&inst);
+    // Z_t = 1 deterministic.
+    for d in &spec.distributions {
+        assert_eq!(d.support_min(), 1);
+        assert_eq!(d.support_max(), 1);
+    }
+    // M = K = 0 and rewards are 0/1 indicators of the bound type.
+    for (i, att) in spec.attackers.iter().enumerate() {
+        let own_type = if i < inst.values[0] as usize { 0 } else { 1 };
+        for act in &att.actions {
+            assert_eq!(act.penalty, 0.0);
+            assert_eq!(act.attack_cost, 0.0);
+            let (t, _) = act.alert_probs[0];
+            assert_eq!(act.reward, if t == own_type { 1.0 } else { 0.0 });
+        }
+    }
+}

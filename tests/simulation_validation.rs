@@ -1,0 +1,62 @@
+//! Ground-truth validation: the solved Syn A policy's analytic loss must
+//! agree with long-run empirical simulation within Monte-Carlo error.
+
+use alert_audit::game::datasets::syn_a_with_budget;
+use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
+use alert_audit::game::execute::AuditPolicy;
+use alert_audit::game::simulation::simulate_policy;
+use alert_audit::prelude::*;
+
+#[test]
+fn solved_syn_a_policy_survives_simulation() {
+    let spec = syn_a_with_budget(10.0);
+    let solution = OapSolver::new(SolverConfig {
+        epsilon: 0.2,
+        n_samples: 500,
+        seed: 3,
+        ..Default::default()
+    })
+    .solve(&spec)
+    .unwrap();
+
+    let bank = spec.sample_bank(500, 3);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let policy = AuditPolicy::new(
+        solution.policy.thresholds.clone(),
+        solution.policy.orders.clone(),
+        solution.policy.probs.clone(),
+    );
+    let report = simulate_policy(&spec, &policy, &est, 8000, 17);
+
+    // Syn A counts are moderate (means 4–6), so the rare-attack
+    // approximation carries visible bias; the simulated loss must still
+    // land in the same band and never below the analytic value by much
+    // more than the known bias direction allows.
+    let gap = (report.mean_loss - solution.loss).abs();
+    assert!(
+        gap < 2.5,
+        "simulated {} vs analytic {} (gap {gap})",
+        report.mean_loss,
+        solution.loss
+    );
+    // Spend discipline and accounting invariants.
+    assert!(report.mean_spent <= spec.budget + 1e-9);
+    assert!(report.caught <= report.attacks);
+    assert!(report.silent <= report.attacks);
+}
+
+#[test]
+fn simulation_is_deterministic_given_seed() {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(100, 1);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let policy = AuditPolicy::pure(
+        vec![2.0, 2.0, 2.0, 2.0],
+        alert_audit::game::ordering::AuditOrder::identity(4),
+    );
+    let a = simulate_policy(&spec, &policy, &est, 200, 42);
+    let b = simulate_policy(&spec, &policy, &est, 200, 42);
+    assert_eq!(a.mean_loss, b.mean_loss);
+    assert_eq!(a.caught, b.caught);
+    assert_eq!(a.attacks, b.attacks);
+}
