@@ -48,9 +48,12 @@ fn bench_oracle_kinds(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &oracle, |b, &oracle| {
             b.iter(|| {
-                Cggs::new(CggsConfig { oracle, ..Default::default() })
-                    .solve(&spec, &est, &thresholds)
-                    .expect("solves")
+                Cggs::new(CggsConfig {
+                    oracle,
+                    ..Default::default()
+                })
+                .solve(&spec, &est, &thresholds)
+                .expect("solves")
             })
         });
     }
@@ -78,12 +81,7 @@ fn bench_dedup_actions(c: &mut Criterion) {
         let thresholds = spec.threshold_upper_bounds();
         group.bench_function(name, |b| {
             b.iter(|| {
-                let m = PayoffMatrix::build(
-                    spec,
-                    &est,
-                    AuditOrder::enumerate_all(5),
-                    &thresholds,
-                );
+                let m = PayoffMatrix::build(spec, &est, AuditOrder::enumerate_all(5), &thresholds);
                 MasterSolver::solve(spec, &m).expect("solves")
             })
         });

@@ -29,7 +29,11 @@ fn bench_master_exact_vs_cggs(c: &mut Criterion) {
         })
     });
     group.bench_function("cggs_column_generation", |b| {
-        b.iter(|| Cggs::default().solve(&spec, &est, &thresholds).expect("solves"))
+        b.iter(|| {
+            Cggs::default()
+                .solve(&spec, &est, &thresholds)
+                .expect("solves")
+        })
     });
     group.bench_function("primal_orientation_cross_check", |b| {
         b.iter(|| {
@@ -51,9 +55,12 @@ fn bench_ishm_epsilon(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
             b.iter(|| {
                 let mut eval = ExactEvaluator::new(&spec, est);
-                Ishm::new(IshmConfig { epsilon: eps, ..Default::default() })
-                    .solve(&spec, &mut eval)
-                    .expect("solves")
+                Ishm::new(IshmConfig {
+                    epsilon: eps,
+                    ..Default::default()
+                })
+                .solve(&spec, &mut eval)
+                .expect("solves")
             })
         });
     }

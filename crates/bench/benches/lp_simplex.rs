@@ -13,11 +13,13 @@ fn covering_lp(n: usize, m: usize, seed: u64) -> Problem {
         .map(|j| p.add_var(format!("x{j}"), rng.gen_range(0.1..5.0), 0.0, f64::INFINITY))
         .collect();
     for i in 0..m {
-        let terms: Vec<_> = xs
-            .iter()
-            .map(|&x| (x, rng.gen_range(0.1..3.0)))
-            .collect();
-        p.add_constraint(format!("r{i}"), terms, Relation::Ge, rng.gen_range(1.0..20.0));
+        let terms: Vec<_> = xs.iter().map(|&x| (x, rng.gen_range(0.1..3.0))).collect();
+        p.add_constraint(
+            format!("r{i}"),
+            terms,
+            Relation::Ge,
+            rng.gen_range(1.0..20.0),
+        );
     }
     p
 }
@@ -60,9 +62,11 @@ fn bench_covering(c: &mut Criterion) {
     group.sample_size(20);
     for &(n, m) in &[(10usize, 8usize), (30, 20), (80, 50)] {
         let p = covering_lp(n, m, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &p, |b, p| {
-            b.iter(|| p.solve().expect("solvable"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &p,
+            |b, p| b.iter(|| p.solve().expect("solvable")),
+        );
     }
     group.finish();
 }

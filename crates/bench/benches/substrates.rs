@@ -2,8 +2,8 @@
 //! synthesis, TDMT labelling, and sample-bank generation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use emrsim::world::{Hospital, HospitalConfig};
 use emrsim::workload::{WorkloadConfig, WorkloadGenerator};
+use emrsim::world::{Hospital, HospitalConfig};
 use stochastics::{DiscretizedGaussian, SampleBank};
 
 fn bench_emr_world(c: &mut Criterion) {
@@ -40,7 +40,11 @@ fn bench_emr_workload(c: &mut Criterion) {
     let engine = Hospital::rule_engine();
     let generator = WorkloadGenerator::new(
         &hospital,
-        WorkloadConfig { n_days: 7, benign_per_day: 1000, repeat_fraction: 0.5 },
+        WorkloadConfig {
+            n_days: 7,
+            benign_per_day: 1000,
+            repeat_fraction: 0.5,
+        },
     );
 
     let mut group = c.benchmark_group("emr_workload");

@@ -20,14 +20,25 @@ fn main() {
     let budgets: Vec<f64> = args
         .get(1)
         .filter(|s| !s.starts_with("--"))
-        .map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("numeric list"))
+                .collect()
+        })
         .unwrap_or_else(audit_bench::defaults::fig1_budgets);
 
     eprintln!("Figure 1 reproduction: Rea A (synthetic VUMC EMR workload)");
     let t0 = std::time::Instant::now();
     let config = emrsim::reaa::small_config(SEED);
     let (spec, profile) = emrsim::reaa::build_game_with_profile(&config).expect("Rea A builds");
-    eprintln!("fitted per-type means: {:?}", profile.means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>());
+    eprintln!(
+        "fitted per-type means: {:?}",
+        profile
+            .means
+            .iter()
+            .map(|m| (m * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
     let sweep = SweepConfig {
         epsilons: FIG_EPSILONS.to_vec(),

@@ -14,17 +14,27 @@ use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
 fn main() {
     let budgets: Vec<f64> = std::env::args()
         .nth(1)
-        .map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("numeric list"))
+                .collect()
+        })
         .unwrap_or_else(audit_bench::defaults::fig2_budgets);
 
     eprintln!("Figure 2 reproduction: Rea B (synthetic Statlog credit data)");
     let t0 = std::time::Instant::now();
-    let config = creditsim::reab::ReaBConfig { seed: SEED, ..Default::default() };
-    let (spec, profile) =
-        creditsim::reab::build_game_with_profile(&config).expect("Rea B builds");
+    let config = creditsim::reab::ReaBConfig {
+        seed: SEED,
+        ..Default::default()
+    };
+    let (spec, profile) = creditsim::reab::build_game_with_profile(&config).expect("Rea B builds");
     eprintln!(
         "fitted per-type means: {:?}",
-        profile.means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()
+        profile
+            .means
+            .iter()
+            .map(|m| (m * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     let sweep = SweepConfig {

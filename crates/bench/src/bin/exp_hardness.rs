@@ -45,7 +45,11 @@ fn main() {
             format!("{}", dp.value),
             format!("{expected}"),
             format!("{oap:.4}"),
-            if ok { "ok".to_string() } else { "MISMATCH".to_string() },
+            if ok {
+                "ok".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -2,8 +2,11 @@
 //! budgets 2..=20, found by exhaustive threshold search + exact master LP.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table3
+//! cargo run -p audit-bench --release --bin exp_table3 [budgets] [samples]
 //! ```
+//!
+//! `budgets` is a comma-separated list (default: the paper's 2..=20 grid);
+//! `samples` overrides the Monte-Carlo sample count (default: 1000).
 
 use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_SAMPLES};
 use audit_bench::report::{f4, support_str, thresholds_str, Table};
@@ -19,13 +22,17 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| SYN_BUDGETS.to_vec());
+    let samples: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("samples is a positive integer"))
+        .unwrap_or(SYN_SAMPLES);
 
     eprintln!(
         "Table III reproduction: Syn A brute force, {} samples, seed {SEED}",
-        SYN_SAMPLES
+        samples
     );
     let t0 = std::time::Instant::now();
-    let rows = table3(&budgets, SYN_SAMPLES, SEED).expect("brute force solves");
+    let rows = table3(&budgets, samples, SEED).expect("brute force solves");
     let costs = syn_a_with_budget(2.0).audit_costs();
 
     let mut table = Table::new(vec![

@@ -5,15 +5,10 @@
 //! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons]
 //! ```
 
-use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::defaults::{parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
 use audit_bench::report::{f4, thresholds_str, Table};
 use audit_bench::syn_experiments::ishm_grid;
 use audit_game::datasets::syn_a_with_budget;
-
-fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
-    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
-        .unwrap_or_else(|| default.to_vec())
-}
 
 fn main() {
     let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);

@@ -5,14 +5,9 @@
 //! cargo run -p audit-bench --release --bin exp_table7 [budgets] [epsilons]
 //! ```
 
-use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS_T7, SYN_SAMPLES};
+use audit_bench::defaults::{parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS_T7, SYN_SAMPLES};
 use audit_bench::report::Table;
 use audit_bench::syn_experiments::ishm_grid;
-
-fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
-    arg.map(|s| s.split(',').map(|x| x.parse().expect("numeric list")).collect())
-        .unwrap_or_else(|| default.to_vec())
-}
 
 fn main() {
     let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);

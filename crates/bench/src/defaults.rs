@@ -38,6 +38,17 @@ pub const RANDOM_ORDER_SAMPLES: usize = 2000;
 /// each repetition is a full CGGS solve — and report the count used).
 pub const RANDOM_THRESHOLD_REPEATS: usize = 120;
 
+/// Parse an optional comma-separated CLI argument into a numeric grid,
+/// falling back to `default`. Shared by the `exp_*` binaries.
+pub fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
+    arg.map(|s| {
+        s.split(',')
+            .map(|x| x.parse().expect("numeric list"))
+            .collect()
+    })
+    .unwrap_or_else(|| default.to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,7 +57,10 @@ mod tests {
     fn grids_match_paper() {
         assert_eq!(SYN_BUDGETS.len(), 10);
         assert_eq!(SYN_EPSILONS.len(), 10);
-        assert_eq!(fig1_budgets(), vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        assert_eq!(
+            fig1_budgets(),
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        );
         let f2 = fig2_budgets();
         assert_eq!(f2.first(), Some(&10.0));
         assert_eq!(f2.last(), Some(&250.0));

@@ -6,9 +6,7 @@
 //! budget, producing the proposed-model series for several ISHM step sizes
 //! alongside the three baseline series.
 
-use audit_game::baselines::{
-    greedy_by_benefit_loss, random_orders_loss, random_thresholds_loss,
-};
+use audit_game::baselines::{greedy_by_benefit_loss, random_orders_loss, random_thresholds_loss};
 use audit_game::cggs::{Cggs, CggsConfig};
 use audit_game::detection::{DetectionEstimator, DetectionModel};
 use audit_game::error::GameError;
@@ -85,20 +83,19 @@ pub fn budget_sweep(
         base.clone()
     };
 
-    let points: Vec<Result<BudgetPoint, GameError>> = crossbeam::thread::scope(|scope| {
+    let points: Vec<Result<BudgetPoint, GameError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = budgets
             .iter()
             .map(|&b| {
                 let spec0 = &spec0;
-                scope.spawn(move |_| one_budget(spec0, b, config))
+                scope.spawn(move || one_budget(spec0, b, config))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     let points: Vec<BudgetPoint> = points.into_iter().collect::<Result<_, _>>()?;
 
     // Random-order baseline uses the ε = first-epsilon thresholds, as in the
@@ -143,7 +140,10 @@ fn one_budget(
     let mut proposed = Vec::with_capacity(config.epsilons.len());
     let mut reference_thresholds: Option<Vec<f64>> = None;
     for &eps in &config.epsilons {
-        let ishm = Ishm::new(IshmConfig { epsilon: eps, ..Default::default() });
+        let ishm = Ishm::new(IshmConfig {
+            epsilon: eps,
+            ..Default::default()
+        });
         let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
         let out = ishm.solve(&spec, &mut eval)?;
         if reference_thresholds.is_none() {
@@ -217,7 +217,11 @@ mod tests {
 
         for i in 0..budgets.len() {
             let p = data.proposed[0][i];
-            assert!(p <= data.random_orders[i] + 1e-6, "budget {i}: proposed {p} > random orders {}", data.random_orders[i]);
+            assert!(
+                p <= data.random_orders[i] + 1e-6,
+                "budget {i}: proposed {p} > random orders {}",
+                data.random_orders[i]
+            );
             assert!(p <= data.random_thresholds[i] + 1e-6);
             assert!(p <= data.greedy_benefit[i] + 1e-6);
         }

@@ -75,11 +75,7 @@ pub fn optimal_for_budget(
 }
 
 /// Compute Table III over a budget grid, one thread per budget.
-pub fn table3(
-    budgets: &[f64],
-    n_samples: usize,
-    seed: u64,
-) -> Result<Vec<OptimalRow>, GameError> {
+pub fn table3(budgets: &[f64], n_samples: usize, seed: u64) -> Result<Vec<OptimalRow>, GameError> {
     parallel_map(budgets, |&b| optimal_for_budget(b, n_samples, seed))
 }
 
@@ -95,7 +91,10 @@ pub fn ishm_cell(
     let spec = syn_a_with_budget(budget);
     let bank = spec.sample_bank(n_samples, seed);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
-    let ishm = Ishm::new(IshmConfig { epsilon, ..Default::default() });
+    let ishm = Ishm::new(IshmConfig {
+        epsilon,
+        ..Default::default()
+    });
     let outcome = if use_cggs {
         let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
         ishm.solve(&spec, &mut eval)?
@@ -152,7 +151,10 @@ pub fn exploration_summary(grid: &[Vec<GridCell>]) -> Vec<(f64, f64, f64)> {
         .map(|e| {
             let eps = grid[0][e].epsilon;
             let mean = stochastics::stats::mean(
-                &grid.iter().map(|row| row[e].explored as f64).collect::<Vec<_>>(),
+                &grid
+                    .iter()
+                    .map(|row| row[e].explored as f64)
+                    .collect::<Vec<_>>(),
             );
             (eps, mean, mean / space)
         })
@@ -164,17 +166,13 @@ fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     f: impl Fn(&T) -> Result<R, GameError> + Sync,
 ) -> Result<Vec<R>, GameError> {
-    let results: Vec<Result<R, GameError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .iter()
-            .map(|item| scope.spawn(|_| f(item)))
-            .collect();
+    let results: Vec<Result<R, GameError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items.iter().map(|item| scope.spawn(|| f(item))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().collect()
 }
 
@@ -207,7 +205,12 @@ mod tests {
         let opt = optimal_for_budget(6.0, 150, 7).unwrap();
         let cell = ishm_cell(6.0, 0.1, false, 150, 7).unwrap();
         let gap = (cell.value - opt.value).abs() / opt.value.abs();
-        assert!(gap < 0.05, "ISHM value {} vs optimal {}", cell.value, opt.value);
+        assert!(
+            gap < 0.05,
+            "ISHM value {} vs optimal {}",
+            cell.value,
+            opt.value
+        );
         assert!(cell.value >= opt.value - 1e-7);
     }
 

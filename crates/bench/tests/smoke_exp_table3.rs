@@ -1,0 +1,32 @@
+//! End-to-end smoke test: the `exp_table3` experiment binary must run on a
+//! tiny configuration (one budget, few Monte-Carlo samples) without
+//! panicking and emit a well-formed table.
+
+use std::process::Command;
+
+#[test]
+fn exp_table3_runs_end_to_end_on_tiny_config() {
+    let exe = env!("CARGO_BIN_EXE_exp_table3");
+    let out = Command::new(exe)
+        .args(["2", "40"]) // budget grid {2}, 40 samples
+        .output()
+        .expect("exp_table3 spawns");
+    assert!(
+        out.status.success(),
+        "exp_table3 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Optimal Objective Value"),
+        "missing table header in output:\n{stdout}"
+    );
+    // One data row for the single requested budget, with a plausible
+    // positive objective (paper's B=2 optimum is ~12.29).
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("| 1 "))
+        .expect("data row for budget 2");
+    assert!(row.contains("| 2"), "row should echo budget 2: {row}");
+}

@@ -126,7 +126,11 @@ pub fn benefit_order(spec: &GameSpec) -> AuditOrder {
     let mut idx: Vec<usize> = (0..n).collect();
     // Stable sort: ties keep type-index order, making the baseline
     // deterministic.
-    idx.sort_by(|&a, &b| benefit[b].partial_cmp(&benefit[a]).expect("finite benefits"));
+    idx.sort_by(|&a, &b| {
+        benefit[b]
+            .partial_cmp(&benefit[a])
+            .expect("finite benefits")
+    });
     AuditOrder::new(idx).expect("sort of a permutation is a permutation")
 }
 
@@ -197,14 +201,15 @@ mod tests {
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
 
         let mut eval = ExactEvaluator::new(&s, est);
-        let proposed = Ishm::new(IshmConfig { epsilon: 0.1, ..Default::default() })
-            .solve(&s, &mut eval)
-            .unwrap();
+        let proposed = Ishm::new(IshmConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        })
+        .solve(&s, &mut eval)
+        .unwrap();
 
-        let rnd_orders =
-            random_orders_loss(&s, &est, &proposed.thresholds, 100, 5).unwrap();
-        let rnd_thresholds =
-            random_thresholds_loss(&s, &est, &Cggs::default(), 20, 5).unwrap();
+        let rnd_orders = random_orders_loss(&s, &est, &proposed.thresholds, 100, 5).unwrap();
+        let rnd_thresholds = random_thresholds_loss(&s, &est, &Cggs::default(), 20, 5).unwrap();
         let greedy = greedy_by_benefit_loss(&s, &est).unwrap();
 
         assert!(

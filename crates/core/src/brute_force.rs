@@ -55,7 +55,9 @@ pub fn solve_brute_force(
 ) -> Result<BruteForceResult, GameError> {
     spec.validate()?;
     if orders.is_empty() {
-        return Err(GameError::InvalidConfig("brute force needs a non-empty order set".into()));
+        return Err(GameError::InvalidConfig(
+            "brute force needs a non-empty order set".into(),
+        ));
     }
     let n = spec.n_types();
     let costs = spec.audit_costs();
@@ -65,11 +67,7 @@ pub fn solve_brute_force(
     // The cover filter Σ b_t ≥ B is meaningful only when the lattice can
     // reach the budget at all; otherwise the all-max vector is the only
     // sensible candidate and we keep vectors at the maximal simplex.
-    let max_sum: f64 = caps
-        .iter()
-        .zip(&costs)
-        .map(|(&k, &c)| k as f64 * c)
-        .sum();
+    let max_sum: f64 = caps.iter().zip(&costs).map(|(&k, &c)| k as f64 * c).sum();
     let min_cover = spec.budget.min(max_sum);
 
     let mut best: Option<(Vec<f64>, f64, MasterSolution)> = None;
@@ -99,7 +97,8 @@ pub fn solve_brute_force(
         let mut i = 0usize;
         loop {
             if i == n {
-                let (thresholds, value, master) = best.expect("lattice contains the all-max vector");
+                let (thresholds, value, master) =
+                    best.expect("lattice contains the all-max vector");
                 let m = PayoffMatrix::build(spec, est, orders.to_vec(), &thresholds);
                 return Ok(BruteForceResult {
                     thresholds,
@@ -193,9 +192,12 @@ mod tests {
         let bf = solve_brute_force(&s, &est, &orders).unwrap();
 
         let mut eval = ExactEvaluator::new(&s, est);
-        let ishm = Ishm::new(IshmConfig { epsilon: 0.1, ..Default::default() })
-            .solve(&s, &mut eval)
-            .unwrap();
+        let ishm = Ishm::new(IshmConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        })
+        .solve(&s, &mut eval)
+        .unwrap();
         assert!(
             ishm.value >= bf.value - 1e-7,
             "heuristic {} beat exhaustive optimum {}",

@@ -113,9 +113,7 @@ impl Cggs {
             iterations += 1;
 
             let candidate = match self.config.oracle {
-                OracleKind::Greedy => {
-                    self.greedy_column(spec, est, thresholds, &master.y_actions)
-                }
+                OracleKind::Greedy => self.greedy_column(spec, est, thresholds, &master.y_actions),
                 OracleKind::Exhaustive => {
                     self.exhaustive_column(spec, est, thresholds, &master.y_actions)
                 }
@@ -141,7 +139,12 @@ impl Cggs {
 
         // Column budget exhausted: return the best master found.
         let master = MasterSolver::solve(spec, &matrix)?;
-        Ok(CggsOutcome { master, orders: matrix.orders, iterations, converged })
+        Ok(CggsOutcome {
+            master,
+            orders: matrix.orders,
+            iterations,
+            converged,
+        })
     }
 
     /// A deterministic feasible initial order (identity filtered through a
@@ -297,9 +300,7 @@ mod tests {
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
         let thresholds = vec![1.0, 1.0, 1.0];
 
-        let cggs = Cggs::default()
-            .solve(&spec, &est, &thresholds)
-            .unwrap();
+        let cggs = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
 
         let all = AuditOrder::enumerate_all(3);
         let m = PayoffMatrix::build(&spec, &est, all, &thresholds);
@@ -370,7 +371,10 @@ mod tests {
         let bank = spec.sample_bank(8, 3);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
         let precedence = PrecedenceConstraints::new(vec![(1, 0)], 3).unwrap();
-        let cggs = Cggs::new(CggsConfig { precedence: precedence.clone(), ..Default::default() });
+        let cggs = Cggs::new(CggsConfig {
+            precedence: precedence.clone(),
+            ..Default::default()
+        });
         let out = cggs.solve(&spec, &est, &[1.0, 1.0, 1.0]).unwrap();
         for o in &out.orders {
             assert!(precedence.is_satisfied(o), "order {o} violates precedence");
@@ -382,7 +386,10 @@ mod tests {
         let spec = three_type_spec();
         let bank = spec.sample_bank(8, 3);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
-        let cggs = Cggs::new(CggsConfig { max_columns: 2, ..Default::default() });
+        let cggs = Cggs::new(CggsConfig {
+            max_columns: 2,
+            ..Default::default()
+        });
         let out = cggs.solve(&spec, &est, &[1.0, 1.0, 1.0]).unwrap();
         assert!(out.orders.len() <= 2);
     }

@@ -143,13 +143,7 @@ pub fn random_game(config: &RandomGameConfig, seed: u64) -> GameSpec {
                     AttackAction::benign(format!("v{v}"), 0.4)
                 } else {
                     let t = rng.gen_range(0..config.n_types);
-                    AttackAction::deterministic(
-                        format!("v{v}"),
-                        t,
-                        benefits[t],
-                        0.4,
-                        4.0,
-                    )
+                    AttackAction::deterministic(format!("v{v}"), t, benefits[t], 0.4, 4.0)
                 }
             })
             .collect();
@@ -181,8 +175,14 @@ mod tests {
         let s = syn_a();
         // e1 accesses r1 benignly; e4 and e5 have no benign access.
         assert!(s.attackers[0].actions[0].alert_probs.is_empty());
-        assert!(s.attackers[3].actions.iter().all(|a| !a.alert_probs.is_empty()));
-        assert!(s.attackers[4].actions.iter().all(|a| !a.alert_probs.is_empty()));
+        assert!(s.attackers[3]
+            .actions
+            .iter()
+            .all(|a| !a.alert_probs.is_empty()));
+        assert!(s.attackers[4]
+            .actions
+            .iter()
+            .all(|a| !a.alert_probs.is_empty()));
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl<'a> DetectionEstimator<'a> {
     /// depends only on its predecessors, which is what makes the greedy
     /// column oracle of CGGS incremental.
     pub fn pal(&self, order: &AuditOrder, thresholds: &[f64]) -> Vec<f64> {
-        assert_eq!(order.len(), self.spec.n_types(), "order/type arity mismatch");
+        assert_eq!(
+            order.len(),
+            self.spec.n_types(),
+            "order/type arity mismatch"
+        );
         assert_eq!(thresholds.len(), self.spec.n_types());
         let mut acc = vec![0.0f64; self.spec.n_types()];
         for z in self.bank.rows() {

@@ -48,6 +48,8 @@ mod tests {
         let e: GameError = LpError::Unbounded { column: 1 }.into();
         assert!(e.to_string().contains("unbounded"));
         assert!(GameError::InvalidSpec("x".into()).to_string().contains("x"));
-        assert!(GameError::InvalidConfig("y".into()).to_string().contains("y"));
+        assert!(GameError::InvalidConfig("y".into())
+            .to_string()
+            .contains("y"));
     }
 }

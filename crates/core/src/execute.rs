@@ -33,7 +33,11 @@ impl AuditPolicy {
             (total - 1.0).abs() < 1e-6 && probs.iter().all(|&p| p >= -1e-9),
             "probs must form a distribution (sum {total})"
         );
-        Self { thresholds, orders, probs }
+        Self {
+            thresholds,
+            orders,
+            probs,
+        }
     }
 
     /// A deterministic single-order policy.
@@ -126,7 +130,11 @@ pub fn execute_policy<R: Rng + ?Sized>(
     // Partition the queue by type.
     let mut queues: Vec<Vec<u64>> = vec![Vec::new(); n];
     for a in alerts {
-        assert!(a.alert_type < n, "alert references unknown type {}", a.alert_type);
+        assert!(
+            a.alert_type < n,
+            "alert references unknown type {}",
+            a.alert_type
+        );
         queues[a.alert_type].push(a.id);
     }
 
@@ -180,11 +188,26 @@ mod tests {
 
     fn queue() -> Vec<RealizedAlert> {
         vec![
-            RealizedAlert { alert_type: 0, id: 1 },
-            RealizedAlert { alert_type: 0, id: 2 },
-            RealizedAlert { alert_type: 0, id: 3 },
-            RealizedAlert { alert_type: 1, id: 10 },
-            RealizedAlert { alert_type: 1, id: 11 },
+            RealizedAlert {
+                alert_type: 0,
+                id: 1,
+            },
+            RealizedAlert {
+                alert_type: 0,
+                id: 2,
+            },
+            RealizedAlert {
+                alert_type: 0,
+                id: 3,
+            },
+            RealizedAlert {
+                alert_type: 1,
+                id: 10,
+            },
+            RealizedAlert {
+                alert_type: 1,
+                id: 11,
+            },
         ]
     }
 
@@ -220,8 +243,7 @@ mod tests {
         assert_eq!(run01.audited[0].len(), 3);
         assert_eq!(run01.audited[1].len(), 0);
 
-        let policy10 =
-            AuditPolicy::pure(vec![10.0, 10.0], AuditOrder::new(vec![1, 0]).unwrap());
+        let policy10 = AuditPolicy::pure(vec![10.0, 10.0], AuditOrder::new(vec![1, 0]).unwrap());
         let run10 = execute_policy(&policy10, &s, &queue(), &mut seeded_rng(0));
         // Type 1 first: 2 audits (cost 4) → nothing for type 0.
         assert_eq!(run10.audited[1].len(), 2);
@@ -232,7 +254,10 @@ mod tests {
     fn sampling_follows_mixture() {
         let policy = AuditPolicy::new(
             vec![1.0, 1.0],
-            vec![AuditOrder::identity(2), AuditOrder::new(vec![1, 0]).unwrap()],
+            vec![
+                AuditOrder::identity(2),
+                AuditOrder::new(vec![1, 0]).unwrap(),
+            ],
             vec![0.25, 0.75],
         );
         let mut rng = seeded_rng(3);
@@ -259,8 +284,8 @@ mod tests {
             picks[run.audited[0][0] as usize] += 1;
         }
         // Ids 1..=3 each picked ≈ 1/3 of the time.
-        for id in 1..=3 {
-            let freq = picks[id] as f64 / 6000.0;
+        for (id, &count) in picks.iter().enumerate().skip(1) {
+            let freq = count as f64 / 6000.0;
             assert!((freq - 1.0 / 3.0).abs() < 0.03, "id {id} freq {freq}");
         }
     }

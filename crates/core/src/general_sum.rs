@@ -43,7 +43,10 @@ impl Default for DamageModel {
         // Zero-sum-compatible default: damage = R, recovery = M, which
         // makes general-sum scoring coincide with the attacker's utility up
         // to the (auditor-irrelevant) attack cost K.
-        Self { damage_per_reward: 1.0, recovery_per_penalty: 1.0 }
+        Self {
+            damage_per_reward: 1.0,
+            recovery_per_penalty: 1.0,
+        }
     }
 }
 
@@ -98,12 +101,16 @@ impl<'a> GeneralSumEvaluator<'a> {
         model: DamageModel,
     ) -> Self {
         assert!(!orders.is_empty());
-        Self { spec, est, orders, model }
+        Self {
+            spec,
+            est,
+            orders,
+            model,
+        }
     }
 
     fn score(&self, thresholds: &[f64]) -> Result<(f64, MasterSolution), GameError> {
-        let matrix =
-            PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        let matrix = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
         let master = MasterSolver::solve(self.spec, &matrix)?;
         let damage = damage_under_mixture(self.spec, &matrix, &master.p_orders, &self.model);
         Ok((damage, master))
@@ -154,12 +161,7 @@ mod tests {
         let s = spec();
         let bank = s.sample_bank(32, 0);
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let matrix = PayoffMatrix::build(
-            &s,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &[2.0, 2.0],
-        );
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[2.0, 2.0]);
         let master = MasterSolver::solve(&s, &matrix).unwrap();
         let zero_sum = matrix.loss_under_mixture(&s, &master.p_orders);
         let general = damage_under_mixture(&s, &matrix, &master.p_orders, &DamageModel::default());
@@ -175,19 +177,17 @@ mod tests {
         let s = spec();
         let bank = s.sample_bank(32, 0);
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let matrix = PayoffMatrix::build(
-            &s,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &[2.0, 2.0],
-        );
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[2.0, 2.0]);
         let p = vec![0.5, 0.5];
         let base = damage_under_mixture(&s, &matrix, &p, &DamageModel::default());
         let amplified = damage_under_mixture(
             &s,
             &matrix,
             &p,
-            &DamageModel { damage_per_reward: 3.0, recovery_per_penalty: 1.0 },
+            &DamageModel {
+                damage_per_reward: 3.0,
+                recovery_per_penalty: 1.0,
+            },
         );
         assert!(amplified > base);
     }
@@ -201,11 +201,17 @@ mod tests {
             &s,
             est,
             AuditOrder::enumerate_all(2),
-            DamageModel { damage_per_reward: 2.0, recovery_per_penalty: 0.5 },
+            DamageModel {
+                damage_per_reward: 2.0,
+                recovery_per_penalty: 0.5,
+            },
         );
-        let out = Ishm::new(IshmConfig { epsilon: 0.25, ..Default::default() })
-            .solve(&s, &mut eval)
-            .unwrap();
+        let out = Ishm::new(IshmConfig {
+            epsilon: 0.25,
+            ..Default::default()
+        })
+        .solve(&s, &mut eval)
+        .unwrap();
         assert!(out.value.is_finite());
         assert_eq!(out.thresholds.len(), 2);
     }
@@ -217,12 +223,7 @@ mod tests {
         s.budget = 10.0;
         let bank = s.sample_bank(32, 0);
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let matrix = PayoffMatrix::build(
-            &s,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &[10.0, 10.0],
-        );
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[10.0, 10.0]);
         // Full coverage: every attack is caught, so attacking pays −4.5 and
         // the attacker opts out → zero damage.
         let d = damage_under_mixture(&s, &matrix, &[0.5, 0.5], &DamageModel::default());

@@ -33,9 +33,17 @@ pub struct KnapsackInstance {
 impl KnapsackInstance {
     /// Construct and validate.
     pub fn new(weights: Vec<u64>, values: Vec<u64>, capacity: u64) -> Self {
-        assert_eq!(weights.len(), values.len(), "weights/values length mismatch");
+        assert_eq!(
+            weights.len(),
+            values.len(),
+            "weights/values length mismatch"
+        );
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
-        Self { weights, values, capacity }
+        Self {
+            weights,
+            values,
+            capacity,
+        }
     }
 
     /// Number of items.
@@ -84,7 +92,10 @@ pub fn solve_knapsack(inst: &KnapsackInstance) -> KnapsackSolution {
         }
     }
     items.reverse();
-    KnapsackSolution { value: best[n][w], items }
+    KnapsackSolution {
+        value: best[n][w],
+        items,
+    }
 }
 
 /// Build the Theorem 1 OAP instance from a knapsack instance.
@@ -149,7 +160,9 @@ pub fn verify_reduction(inst: &KnapsackInstance) -> (f64, f64) {
             })
             .collect();
         let m = PayoffMatrix::build(&spec, &est, order.clone(), &thresholds);
-        let v = MasterSolver::solve(&spec, &m).expect("reduction LP is feasible").value;
+        let v = MasterSolver::solve(&spec, &m)
+            .expect("reduction LP is feasible")
+            .value;
         best = best.min(v);
     }
 

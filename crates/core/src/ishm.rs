@@ -124,13 +124,21 @@ pub struct CggsEvaluator<'a> {
 impl<'a> CggsEvaluator<'a> {
     /// Build with a CGGS configuration.
     pub fn new(spec: &'a GameSpec, est: DetectionEstimator<'a>, config: CggsConfig) -> Self {
-        Self { spec, est, cggs: Cggs::new(config) }
+        Self {
+            spec,
+            est,
+            cggs: Cggs::new(config),
+        }
     }
 }
 
 impl ThresholdEvaluator for CggsEvaluator<'_> {
     fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
-        Ok(self.cggs.solve(self.spec, &self.est, thresholds)?.master.value)
+        Ok(self
+            .cggs
+            .solve(self.spec, &self.est, thresholds)?
+            .master
+            .value)
     }
 
     fn solve_full(
@@ -154,7 +162,10 @@ pub struct IshmConfig {
 
 impl Default for IshmConfig {
     fn default() -> Self {
-        Self { epsilon: 0.1, improvement_tol: 1e-9 }
+        Self {
+            epsilon: 0.1,
+            improvement_tol: 1e-9,
+        }
     }
 }
 
@@ -272,7 +283,13 @@ impl Ishm {
         }
 
         let (master, orders) = evaluator.solve_full(&h)?;
-        Ok(IshmOutcome { thresholds: h, value: master.value, master, orders, stats })
+        Ok(IshmOutcome {
+            thresholds: h,
+            value: master.value,
+            master,
+            orders,
+            stats,
+        })
     }
 }
 
@@ -337,10 +354,17 @@ mod tests {
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
         let mut eval = ExactEvaluator::new(&spec, est);
         let start = eval.evaluate(&spec.threshold_upper_bounds()).unwrap();
-        let out = Ishm::new(IshmConfig { epsilon: 0.1, ..Default::default() })
-            .solve(&spec, &mut eval)
-            .unwrap();
-        assert!(out.value <= start + 1e-9, "ISHM worsened: {} > {start}", out.value);
+        let out = Ishm::new(IshmConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        })
+        .solve(&spec, &mut eval)
+        .unwrap();
+        assert!(
+            out.value <= start + 1e-9,
+            "ISHM worsened: {} > {start}",
+            out.value
+        );
         assert!(out.stats.thresholds_explored > 1);
         assert!(out.stats.max_level >= 1);
     }
@@ -374,13 +398,19 @@ mod tests {
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
 
         let mut e1 = ExactEvaluator::new(&spec, est);
-        let fine = Ishm::new(IshmConfig { epsilon: 0.05, ..Default::default() })
-            .solve(&spec, &mut e1)
-            .unwrap();
+        let fine = Ishm::new(IshmConfig {
+            epsilon: 0.05,
+            ..Default::default()
+        })
+        .solve(&spec, &mut e1)
+        .unwrap();
         let mut e2 = ExactEvaluator::new(&spec, est);
-        let coarse = Ishm::new(IshmConfig { epsilon: 0.5, ..Default::default() })
-            .solve(&spec, &mut e2)
-            .unwrap();
+        let coarse = Ishm::new(IshmConfig {
+            epsilon: 0.5,
+            ..Default::default()
+        })
+        .solve(&spec, &mut e2)
+        .unwrap();
         assert!(coarse.stats.thresholds_explored < fine.stats.thresholds_explored);
         // Finer grid can only help (or tie) on the objective.
         assert!(fine.value <= coarse.value + 1e-6);
@@ -392,9 +422,15 @@ mod tests {
         let bank = spec.sample_bank(50, 0);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
         let mut eval = ExactEvaluator::new(&spec, est);
-        let bad = Ishm::new(IshmConfig { epsilon: 0.0, ..Default::default() });
+        let bad = Ishm::new(IshmConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        });
         assert!(bad.solve(&spec, &mut eval).is_err());
-        let bad = Ishm::new(IshmConfig { epsilon: 1.5, ..Default::default() });
+        let bad = Ishm::new(IshmConfig {
+            epsilon: 1.5,
+            ..Default::default()
+        });
         assert!(bad.solve(&spec, &mut eval).is_err());
     }
 

@@ -70,7 +70,11 @@ impl MasterSolver {
         // Per-attacker mass constraints. Attackers without actions are
         // vacuous (they contribute u_e = 0 when opting out is allowed; with
         // no actions there is nothing they can do either way).
-        let rel = if spec.allow_opt_out { Relation::Le } else { Relation::Eq };
+        let rel = if spec.allow_opt_out {
+            Relation::Le
+        } else {
+            Relation::Eq
+        };
         let mut attacker_rows = Vec::with_capacity(spec.n_attackers());
         for (e, att) in spec.attackers.iter().enumerate() {
             if att.actions.is_empty() {
@@ -96,10 +100,7 @@ impl MasterSolver {
         }
 
         let sol = lp.solve()?;
-        let p_orders: Vec<f64> = order_rows
-            .iter()
-            .map(|&r| sol.dual(r).max(0.0))
-            .collect();
+        let p_orders: Vec<f64> = order_rows.iter().map(|&r| sol.dual(r).max(0.0)).collect();
         let u_attackers: Vec<f64> = attacker_rows
             .iter()
             .map(|r| r.map(|row| sol.dual(row)).unwrap_or(0.0))
@@ -136,7 +137,11 @@ impl MasterSolver {
             .iter()
             .enumerate()
             .map(|(e, att)| {
-                let lo = if spec.allow_opt_out { 0.0 } else { f64::NEG_INFINITY };
+                let lo = if spec.allow_opt_out {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                };
                 lp.add_var(format!("u{e}"), att.attack_prob, lo, f64::INFINITY)
             })
             .collect();
@@ -307,12 +312,7 @@ mod tests {
         // of each mixture (best-responding attackers) must equal the value.
         let bank = spec.sample_bank(4, 0);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
-        let m = PayoffMatrix::build(
-            &spec,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &[1.0, 1.0],
-        );
+        let m = PayoffMatrix::build(&spec, &est, AuditOrder::enumerate_all(2), &[1.0, 1.0]);
         let loss_dual = m.loss_under_mixture(&spec, &dual.p_orders);
         let loss_primal = m.loss_under_mixture(&spec, &primal.p_orders);
         assert!((loss_dual - dual.value).abs() < 1e-6);

@@ -17,7 +17,10 @@ pub struct AlertType {
 impl AlertType {
     /// Construct an alert type.
     pub fn new(name: impl Into<String>, audit_cost: f64) -> Self {
-        Self { name: name.into(), audit_cost }
+        Self {
+            name: name.into(),
+            audit_cost,
+        }
     }
 }
 
@@ -108,7 +111,11 @@ pub struct Attacker {
 impl Attacker {
     /// Construct an attacker.
     pub fn new(name: impl Into<String>, attack_prob: f64, actions: Vec<AttackAction>) -> Self {
-        Self { name: name.into(), attack_prob, actions }
+        Self {
+            name: name.into(),
+            attack_prob,
+            actions,
+        }
     }
 }
 
@@ -303,7 +310,11 @@ impl GameSpec {
                     .iter()
                     .map(|a| a.reward - a.attack_cost)
                     .fold(f64::NEG_INFINITY, f64::max);
-                let best = if self.allow_opt_out { best.max(0.0) } else { best };
+                let best = if self.allow_opt_out {
+                    best.max(0.0)
+                } else {
+                    best
+                };
                 if best.is_finite() {
                     att.attack_prob * best
                 } else {

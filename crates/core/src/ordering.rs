@@ -166,9 +166,7 @@ impl PrecedenceConstraints {
     /// Restrict a greedy construction: given the set of already-placed
     /// types, may `t` be placed next?
     pub fn can_place_next(&self, t: usize, placed: &[bool]) -> bool {
-        self.pairs
-            .iter()
-            .all(|&(a, b)| b != t || placed[a])
+        self.pairs.iter().all(|&(a, b)| b != t || placed[a])
     }
 
     fn has_cycle(&self, n: usize) -> bool {

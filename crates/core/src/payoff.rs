@@ -8,11 +8,7 @@ use crate::ordering::AuditOrder;
 /// `Pat(o, b, ⟨e,v⟩) = Σ_t P^t_ev · Pal(o, b, t)` — the probability that an
 /// attack is detected, given per-type alert-detection probabilities.
 pub fn detection_prob(action: &AttackAction, pal: &[f64]) -> f64 {
-    action
-        .alert_probs
-        .iter()
-        .map(|&(t, p)| p * pal[t])
-        .sum()
+    action.alert_probs.iter().map(|&(t, p)| p * pal[t]).sum()
 }
 
 /// Attacker utility (paper eq. 3, with the penalty entering negatively):
@@ -104,7 +100,12 @@ impl PayoffMatrix {
             values.push(col);
             pals.push(pal);
         }
-        Self { orders, pals, values, index }
+        Self {
+            orders,
+            pals,
+            values,
+            index,
+        }
     }
 
     /// Append one more order column (used by column generation).
@@ -310,12 +311,7 @@ mod tests {
         let s = spec();
         let bank = s.sample_bank(2, 0);
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let mut m = PayoffMatrix::build(
-            &s,
-            &est,
-            vec![AuditOrder::identity(2)],
-            &[1.0, 1.0],
-        );
+        let mut m = PayoffMatrix::build(&s, &est, vec![AuditOrder::identity(2)], &[1.0, 1.0]);
         m.push_order(&s, &est, AuditOrder::new(vec![1, 0]).unwrap(), &[1.0, 1.0]);
         assert_eq!(m.n_orders(), 2);
         assert_eq!(m.values[1].len(), 3);

@@ -42,7 +42,10 @@ impl QuantalResponse {
     pub fn choice_probs(&self, utilities: &[f64]) -> Vec<f64> {
         assert!(!utilities.is_empty(), "need at least one action");
         let m = utilities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = utilities.iter().map(|&u| ((u - m) * self.lambda).exp()).collect();
+        let exps: Vec<f64> = utilities
+            .iter()
+            .map(|&u| ((u - m) * self.lambda).exp())
+            .collect();
         let total: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / total).collect()
     }
@@ -51,12 +54,7 @@ impl QuantalResponse {
     ///
     /// For each attacker, expected utilities per action are computed under
     /// the mixture, turned into logit choice probabilities, and averaged.
-    pub fn loss_under_mixture(
-        &self,
-        spec: &GameSpec,
-        matrix: &PayoffMatrix,
-        p: &[f64],
-    ) -> f64 {
+    pub fn loss_under_mixture(&self, spec: &GameSpec, matrix: &PayoffMatrix, p: &[f64]) -> f64 {
         assert_eq!(p.len(), matrix.n_orders());
         let mut loss = 0.0;
         for (e, att) in spec.attackers.iter().enumerate() {
@@ -118,14 +116,20 @@ impl<'a> QrEvaluator<'a> {
         qr: QuantalResponse,
     ) -> Self {
         assert!(!orders.is_empty());
-        Self { spec, est, orders, qr }
+        Self {
+            spec,
+            est,
+            orders,
+            qr,
+        }
     }
 
     fn qr_value(&self, thresholds: &[f64]) -> Result<(f64, MasterSolution), GameError> {
-        let matrix =
-            PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        let matrix = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
         let master = crate::master::MasterSolver::solve(self.spec, &matrix)?;
-        let loss = self.qr.loss_under_mixture(self.spec, &matrix, &master.p_orders);
+        let loss = self
+            .qr
+            .loss_under_mixture(self.spec, &matrix, &master.p_orders);
         Ok((loss, master))
     }
 }
@@ -153,9 +157,17 @@ pub fn solve_qr_thresholds(
 ) -> Result<QrOutcome, GameError> {
     let orders = AuditOrder::enumerate_all(spec.n_types());
     let mut eval = QrEvaluator::new(spec, *est, orders, qr);
-    let outcome = Ishm::new(IshmConfig { epsilon, ..Default::default() }).solve(spec, &mut eval)?;
+    let outcome = Ishm::new(IshmConfig {
+        epsilon,
+        ..Default::default()
+    })
+    .solve(spec, &mut eval)?;
     let (value, rational) = eval.qr_value(&outcome.thresholds)?;
-    Ok(QrOutcome { thresholds: outcome.thresholds, value, rational })
+    Ok(QrOutcome {
+        thresholds: outcome.thresholds,
+        value,
+        rational,
+    })
 }
 
 #[cfg(test)]
@@ -210,12 +222,7 @@ mod tests {
         let s = spec();
         let bank = s.sample_bank(16, 0);
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let matrix = PayoffMatrix::build(
-            &s,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &[1.0, 1.0],
-        );
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[1.0, 1.0]);
         let p = vec![0.5, 0.5];
         let rational = matrix.loss_under_mixture(&s, &p);
         let qr_soft = QuantalResponse::new(0.0).loss_under_mixture(&s, &matrix, &p);
@@ -236,12 +243,7 @@ mod tests {
         assert_eq!(out.thresholds.len(), 2);
         // QR loss can never exceed the rational upper envelope at the same
         // policy.
-        let matrix = PayoffMatrix::build(
-            &s,
-            &est,
-            AuditOrder::enumerate_all(2),
-            &out.thresholds,
-        );
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &out.thresholds);
         let rational_loss = matrix.loss_under_mixture(&s, &out.rational.p_orders);
         assert!(out.value <= rational_loss + 1e-6);
     }

@@ -134,8 +134,14 @@ mod tests {
     fn scaling_transforms_the_right_fields() {
         let s = syn_a_with_budget(6.0);
         let r = scale_spec(&s, Parameter::Reward, 2.0);
-        assert_eq!(r.attackers[0].actions[1].reward, s.attackers[0].actions[1].reward * 2.0);
-        assert_eq!(r.attackers[0].actions[1].penalty, s.attackers[0].actions[1].penalty);
+        assert_eq!(
+            r.attackers[0].actions[1].reward,
+            s.attackers[0].actions[1].reward * 2.0
+        );
+        assert_eq!(
+            r.attackers[0].actions[1].penalty,
+            s.attackers[0].actions[1].penalty
+        );
 
         let p = scale_spec(&s, Parameter::Penalty, 0.5);
         assert_eq!(p.attackers[0].actions[1].penalty, 2.0);
@@ -157,7 +163,10 @@ mod tests {
             seed: 2,
         };
         let curve = sweep(&s, Parameter::Reward, &cfg).unwrap();
-        assert!(curve[0].loss < curve[2].loss, "richer attacks must hurt more");
+        assert!(
+            curve[0].loss < curve[2].loss,
+            "richer attacks must hurt more"
+        );
     }
 
     #[test]

@@ -65,12 +65,7 @@ pub fn simulate_policy(
     seed: u64,
 ) -> SimulationReport {
     assert!(n_periods > 0, "need at least one period");
-    let matrix = PayoffMatrix::build(
-        spec,
-        est,
-        policy.orders.clone(),
-        &policy.thresholds,
-    );
+    let matrix = PayoffMatrix::build(spec, est, policy.orders.clone(), &policy.thresholds);
     let responses = matrix.best_responses(spec, &policy.probs);
 
     let mut rng = stream_rng(seed, 0x51D);
@@ -89,7 +84,10 @@ pub fn simulate_policy(
         let z = draw_counts(spec, seed, period as u64);
         for (t, &count) in z.iter().enumerate() {
             for _ in 0..count {
-                alerts.push(RealizedAlert { alert_type: t, id: next_id });
+                alerts.push(RealizedAlert {
+                    alert_type: t,
+                    id: next_id,
+                });
                 next_id += 1;
             }
         }
@@ -114,7 +112,10 @@ pub fn simulate_policy(
                 acc += p;
                 if u < acc {
                     raised = Some((t, next_id));
-                    alerts.push(RealizedAlert { alert_type: t, id: next_id });
+                    alerts.push(RealizedAlert {
+                        alert_type: t,
+                        id: next_id,
+                    });
                     next_id += 1;
                     break;
                 }
@@ -140,11 +141,7 @@ pub fn simulate_policy(
         let mut caught_this_period = 0usize;
         for &(_e, raised, reward, cost, penalty) in &attack_alerts {
             let was_caught = raised
-                .map(|id| {
-                    run.audited
-                        .iter()
-                        .any(|ids| ids.binary_search(&id).is_ok())
-                })
+                .map(|id| run.audited.iter().any(|ids| ids.binary_search(&id).is_ok()))
                 .unwrap_or(false);
             if was_caught {
                 caught_this_period += 1;
@@ -159,11 +156,7 @@ pub fn simulate_policy(
                 .iter()
                 .filter(|&&(_, raised, ..)| {
                     raised
-                        .map(|id| {
-                            run.audited
-                                .iter()
-                                .any(|ids| ids.binary_search(&id).is_ok())
-                        })
+                        .map(|id| run.audited.iter().any(|ids| ids.binary_search(&id).is_ok()))
                         .unwrap_or(false)
                 })
                 .count();
@@ -186,7 +179,10 @@ pub fn simulate_policy(
 /// Draw one period's benign counts from the spec's distributions.
 fn draw_counts(spec: &GameSpec, seed: u64, period: u64) -> Vec<u64> {
     let mut rng = stream_rng(seed, 0xBEEF ^ period);
-    spec.distributions.iter().map(|d| d.sample(&mut rng)).collect()
+    spec.distributions
+        .iter()
+        .map(|d| d.sample(&mut rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -220,7 +216,10 @@ mod tests {
         (
             AuditPolicy::new(
                 vec![2.0, 2.0],
-                vec![AuditOrder::identity(2), AuditOrder::new(vec![1, 0]).unwrap()],
+                vec![
+                    AuditOrder::identity(2),
+                    AuditOrder::new(vec![1, 0]).unwrap(),
+                ],
                 vec![0.5, 0.5],
             ),
             bank,
@@ -236,8 +235,7 @@ mod tests {
         let s = spec(2.0, false);
         let (policy, bank) = policy_for(&s);
         let est_incl = DetectionEstimator::new(&s, &bank, DetectionModel::AttackInclusive);
-        let m_incl =
-            PayoffMatrix::build(&s, &est_incl, policy.orders.clone(), &policy.thresholds);
+        let m_incl = PayoffMatrix::build(&s, &est_incl, policy.orders.clone(), &policy.thresholds);
         let predicted_incl = m_incl.loss_under_mixture(&s, &policy.probs);
 
         let est_paper = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
@@ -280,7 +278,10 @@ mod tests {
         let bank = s.sample_bank(50, 1);
         let policy = AuditPolicy::new(
             vec![15.0, 15.0],
-            vec![AuditOrder::identity(2), AuditOrder::new(vec![1, 0]).unwrap()],
+            vec![
+                AuditOrder::identity(2),
+                AuditOrder::new(vec![1, 0]).unwrap(),
+            ],
             vec![0.5, 0.5],
         );
         let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);

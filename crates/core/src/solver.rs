@@ -5,9 +5,7 @@ use crate::cggs::CggsConfig;
 use crate::detection::{DetectionEstimator, DetectionModel};
 use crate::error::GameError;
 use crate::execute::AuditPolicy;
-use crate::ishm::{
-    CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats,
-};
+use crate::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats};
 use crate::master::MasterSolution;
 use crate::model::GameSpec;
 use serde::{Deserialize, Serialize};
@@ -86,7 +84,9 @@ impl OapSolver {
     pub fn solve(&self, spec: &GameSpec) -> Result<AuditSolution, GameError> {
         spec.validate()?;
         if self.config.n_samples == 0 {
-            return Err(GameError::InvalidConfig("n_samples must be positive".into()));
+            return Err(GameError::InvalidConfig(
+                "n_samples must be positive".into(),
+            ));
         }
         let working = if self.config.dedup_actions {
             spec.dedup_actions()
@@ -173,16 +173,28 @@ mod tests {
 
     #[test]
     fn dedup_preserves_value() {
-        let mut cfg = RandomGameConfig::default();
-        cfg.n_victims = 12; // plenty of duplicate (type, payoff) actions
+        let cfg = RandomGameConfig {
+            n_victims: 12, // plenty of duplicate (type, payoff) actions
+            ..Default::default()
+        };
         let spec = random_game(&cfg, 3);
-        let base = SolverConfig { n_samples: 80, epsilon: 0.3, ..Default::default() };
-        let with = OapSolver::new(SolverConfig { dedup_actions: true, ..base.clone() })
-            .solve(&spec)
-            .unwrap();
-        let without = OapSolver::new(SolverConfig { dedup_actions: false, ..base })
-            .solve(&spec)
-            .unwrap();
+        let base = SolverConfig {
+            n_samples: 80,
+            epsilon: 0.3,
+            ..Default::default()
+        };
+        let with = OapSolver::new(SolverConfig {
+            dedup_actions: true,
+            ..base.clone()
+        })
+        .solve(&spec)
+        .unwrap();
+        let without = OapSolver::new(SolverConfig {
+            dedup_actions: false,
+            ..base
+        })
+        .solve(&spec)
+        .unwrap();
         assert!(
             (with.loss - without.loss).abs() < 1e-7,
             "dedup changed the value: {} vs {}",
@@ -194,7 +206,10 @@ mod tests {
     #[test]
     fn zero_samples_rejected() {
         let spec = random_game(&RandomGameConfig::default(), 1);
-        let solver = OapSolver::new(SolverConfig { n_samples: 0, ..Default::default() });
+        let solver = OapSolver::new(SolverConfig {
+            n_samples: 0,
+            ..Default::default()
+        });
         assert!(solver.solve(&spec).is_err());
     }
 }

@@ -45,12 +45,11 @@ impl Default for ReaBConfig {
 }
 
 /// Build the Rea B game together with the fitted alert profile.
-pub fn build_game_with_profile(
-    config: &ReaBConfig,
-) -> Result<(GameSpec, AlertProfile), GameError> {
+pub fn build_game_with_profile(config: &ReaBConfig) -> Result<(GameSpec, AlertProfile), GameError> {
     // Historical batches → per-type count series → F_t.
-    let mut observations: Vec<Vec<u64>> =
-        (0..5).map(|_| Vec::with_capacity(config.n_history_batches)).collect();
+    let mut observations: Vec<Vec<u64>> = (0..5)
+        .map(|_| Vec::with_capacity(config.n_history_batches))
+        .collect();
     for b in 0..config.n_history_batches {
         let apps = generate_applications(&config.synth, config.seed.wrapping_add(b as u64));
         let counts = alert_counts(&apps);
@@ -88,10 +87,7 @@ pub fn build_game_with_profile(
         let actions: Vec<AttackAction> = Purpose::ALL
             .iter()
             .map(|&purpose| match app.alert_type_with_purpose(purpose) {
-                None => AttackAction::benign(
-                    format!("{purpose:?}"),
-                    crate::REA_B_UNIT_COST,
-                ),
+                None => AttackAction::benign(format!("{purpose:?}"), crate::REA_B_UNIT_COST),
                 Some(t) => AttackAction::deterministic(
                     format!("{purpose:?}"),
                     t,
@@ -148,7 +144,11 @@ mod tests {
         for att in &spec.attackers {
             assert_eq!(att.actions.len(), 8);
             // Rule 1 applicants (no checking account) alert on EVERY purpose.
-            let alerting = att.actions.iter().filter(|a| !a.alert_probs.is_empty()).count();
+            let alerting = att
+                .actions
+                .iter()
+                .filter(|a| !a.alert_probs.is_empty())
+                .count();
             assert!(alerting >= 1, "labelled applicant must alert somewhere");
             let all_type0 = att
                 .actions
@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn distinct_seeds_give_distinct_populations() {
         let a = build_game(&ReaBConfig::default()).unwrap();
-        let b = build_game(&ReaBConfig { seed: 1, ..Default::default() }).unwrap();
+        let b = build_game(&ReaBConfig {
+            seed: 1,
+            ..Default::default()
+        })
+        .unwrap();
         let names_a: Vec<_> = a.attackers.iter().map(|x| &x.name).collect();
         let names_b: Vec<_> = b.attackers.iter().map(|x| &x.name).collect();
         assert_ne!(names_a, names_b);

@@ -165,9 +165,7 @@ pub fn alert_for(
         }
     }
     // 5: Checking > 0, critical account, Business.
-    if checking.is_positive()
-        && history == CreditHistory::Critical
-        && purpose == Purpose::Business
+    if checking.is_positive() && history == CreditHistory::Critical && purpose == Purpose::Business
     {
         return Some(4);
     }
@@ -178,7 +176,12 @@ pub fn alert_for(
 mod tests {
     use super::*;
 
-    fn app(checking: CheckingStatus, history: CreditHistory, skill: Skill, purpose: Purpose) -> Application {
+    fn app(
+        checking: CheckingStatus,
+        history: CreditHistory,
+        skill: Skill,
+        purpose: Purpose,
+    ) -> Application {
         Application {
             id: 0,
             checking,
@@ -201,37 +204,87 @@ mod tests {
 
     #[test]
     fn rule2_requires_negative_checking_and_car_or_education() {
-        let a = app(CheckingStatus::Negative, CreditHistory::Paid, Skill::Skilled, Purpose::NewCar);
+        let a = app(
+            CheckingStatus::Negative,
+            CreditHistory::Paid,
+            Skill::Skilled,
+            Purpose::NewCar,
+        );
         assert_eq!(a.alert_type(), Some(1));
-        let a = app(CheckingStatus::Negative, CreditHistory::Paid, Skill::Skilled, Purpose::Education);
+        let a = app(
+            CheckingStatus::Negative,
+            CreditHistory::Paid,
+            Skill::Skilled,
+            Purpose::Education,
+        );
         assert_eq!(a.alert_type(), Some(1));
-        let a = app(CheckingStatus::Negative, CreditHistory::Paid, Skill::Skilled, Purpose::Repairs);
+        let a = app(
+            CheckingStatus::Negative,
+            CreditHistory::Paid,
+            Skill::Skilled,
+            Purpose::Repairs,
+        );
         assert_eq!(a.alert_type(), None);
     }
 
     #[test]
     fn rules_3_and_4_need_positive_checking_and_unskilled() {
-        let a = app(CheckingStatus::Low, CreditHistory::Paid, Skill::Unskilled, Purpose::Education);
+        let a = app(
+            CheckingStatus::Low,
+            CreditHistory::Paid,
+            Skill::Unskilled,
+            Purpose::Education,
+        );
         assert_eq!(a.alert_type(), Some(2));
-        let a = app(CheckingStatus::High, CreditHistory::Paid, Skill::Unskilled, Purpose::Appliance);
+        let a = app(
+            CheckingStatus::High,
+            CreditHistory::Paid,
+            Skill::Unskilled,
+            Purpose::Appliance,
+        );
         assert_eq!(a.alert_type(), Some(3));
-        let a = app(CheckingStatus::High, CreditHistory::Paid, Skill::Skilled, Purpose::Appliance);
+        let a = app(
+            CheckingStatus::High,
+            CreditHistory::Paid,
+            Skill::Skilled,
+            Purpose::Appliance,
+        );
         assert_eq!(a.alert_type(), None);
-        let a = app(CheckingStatus::Negative, CreditHistory::Paid, Skill::Unskilled, Purpose::Appliance);
+        let a = app(
+            CheckingStatus::Negative,
+            CreditHistory::Paid,
+            Skill::Unskilled,
+            Purpose::Appliance,
+        );
         assert_eq!(a.alert_type(), None);
     }
 
     #[test]
     fn rule5_critical_business() {
-        let a = app(CheckingStatus::Low, CreditHistory::Critical, Skill::Skilled, Purpose::Business);
+        let a = app(
+            CheckingStatus::Low,
+            CreditHistory::Critical,
+            Skill::Skilled,
+            Purpose::Business,
+        );
         assert_eq!(a.alert_type(), Some(4));
-        let a = app(CheckingStatus::Low, CreditHistory::Paid, Skill::Skilled, Purpose::Business);
+        let a = app(
+            CheckingStatus::Low,
+            CreditHistory::Paid,
+            Skill::Skilled,
+            Purpose::Business,
+        );
         assert_eq!(a.alert_type(), None);
     }
 
     #[test]
     fn purpose_switching_changes_the_alert() {
-        let a = app(CheckingStatus::Low, CreditHistory::Critical, Skill::Unskilled, Purpose::Repairs);
+        let a = app(
+            CheckingStatus::Low,
+            CreditHistory::Critical,
+            Skill::Unskilled,
+            Purpose::Repairs,
+        );
         assert_eq!(a.alert_type(), None);
         assert_eq!(a.alert_type_with_purpose(Purpose::Education), Some(2));
         assert_eq!(a.alert_type_with_purpose(Purpose::Appliance), Some(3));

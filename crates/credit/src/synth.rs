@@ -63,7 +63,9 @@ pub fn generate_applications(config: &SynthConfig, seed: u64) -> Vec<Application
 /// Fill attributes consistent with the assigned class (`None` = benign).
 fn fill_application(id: u32, class: Option<usize>, rng: &mut impl Rng) -> Application {
     let amount = rng.gen_range(250..18_500);
-    let duration = *[6u32, 12, 18, 24, 36, 48, 60].choose(rng).expect("non-empty");
+    let duration = *[6u32, 12, 18, 24, 36, 48, 60]
+        .choose(rng)
+        .expect("non-empty");
     let age = rng.gen_range(19..75);
 
     let (checking, history, skill, purpose) = match class {
@@ -77,7 +79,9 @@ fn fill_application(id: u32, class: Option<usize>, rng: &mut impl Rng) -> Applic
             CheckingStatus::Negative,
             any_history(rng),
             any_skill(rng),
-            *[Purpose::NewCar, Purpose::Education].choose(rng).expect("non-empty"),
+            *[Purpose::NewCar, Purpose::Education]
+                .choose(rng)
+                .expect("non-empty"),
         ),
         Some(2) => (
             positive_checking(rng),
@@ -101,7 +105,16 @@ fn fill_application(id: u32, class: Option<usize>, rng: &mut impl Rng) -> Applic
         None => benign_profile(rng),
     };
 
-    let app = Application { id, checking, history, skill, purpose, amount, duration, age };
+    let app = Application {
+        id,
+        checking,
+        history,
+        skill,
+        purpose,
+        amount,
+        duration,
+        age,
+    };
     debug_assert_eq!(app.alert_type(), class, "class assignment must round-trip");
     app
 }
@@ -129,11 +142,15 @@ fn any_skill(rng: &mut impl Rng) -> Skill {
 }
 
 fn skilled(rng: &mut impl Rng) -> Skill {
-    *[Skill::Skilled, Skill::Management].choose(rng).expect("non-empty")
+    *[Skill::Skilled, Skill::Management]
+        .choose(rng)
+        .expect("non-empty")
 }
 
 fn positive_checking(rng: &mut impl Rng) -> CheckingStatus {
-    *[CheckingStatus::Low, CheckingStatus::High].choose(rng).expect("non-empty")
+    *[CheckingStatus::Low, CheckingStatus::High]
+        .choose(rng)
+        .expect("non-empty")
 }
 
 fn any_purpose(rng: &mut impl Rng) -> Purpose {
@@ -157,7 +174,12 @@ fn benign_profile(rng: &mut impl Rng) -> (CheckingStatus, CreditHistory, Skill, 
         ]
         .choose(rng)
         .expect("non-empty");
-        (CheckingStatus::Negative, any_history(rng), any_skill(rng), purpose)
+        (
+            CheckingStatus::Negative,
+            any_history(rng),
+            any_skill(rng),
+            purpose,
+        )
     } else {
         // Positive checking, skilled, non-critical history.
         let history = *[
@@ -167,7 +189,12 @@ fn benign_profile(rng: &mut impl Rng) -> (CheckingStatus, CreditHistory, Skill, 
         ]
         .choose(rng)
         .expect("non-empty");
-        (positive_checking(rng), history, skilled(rng), any_purpose(rng))
+        (
+            positive_checking(rng),
+            history,
+            skilled(rng),
+            any_purpose(rng),
+        )
     }
 }
 
@@ -195,12 +222,12 @@ mod tests {
         for b in 0..n_batches {
             let apps = generate_applications(&cfg, b);
             let counts = alert_counts(&apps);
-            for t in 0..5 {
-                totals[t] += counts[t] as f64;
+            for (t, total) in totals.iter_mut().enumerate() {
+                *total += counts[t] as f64;
             }
         }
-        for t in 0..5 {
-            let mean = totals[t] / n_batches as f64;
+        for (t, &total) in totals.iter().enumerate() {
+            let mean = total / n_batches as f64;
             let tol = crate::TABLE9_STDS[t] + 3.0;
             assert!(
                 (mean - crate::TABLE9_MEANS[t]).abs() < tol,
@@ -250,7 +277,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn rates_must_leave_benign_mass() {
-        let cfg = SynthConfig { n_applications: 10, class_rates: [0.3, 0.3, 0.2, 0.15, 0.1] };
+        let cfg = SynthConfig {
+            n_applications: 10,
+            class_rates: [0.3, 0.3, 0.2, 0.15, 0.1],
+        };
         generate_applications(&cfg, 0);
     }
 }

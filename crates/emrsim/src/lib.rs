@@ -24,8 +24,8 @@
 #![warn(clippy::all)]
 
 pub mod reaa;
-pub mod world;
 pub mod workload;
+pub mod world;
 
 pub use reaa::{build_game, ReaAConfig};
 pub use workload::WorkloadGenerator;
@@ -47,15 +47,7 @@ pub const TABLE8_NAMES: [&str; 7] = [
 ];
 /// Base-rule subsets per combination type (0 = last name, 1 = department,
 /// 2 = address, 3 = neighbor).
-pub const TABLE8_SUBSETS: [&[usize]; 7] = [
-    &[0],
-    &[1],
-    &[3],
-    &[0, 2],
-    &[0, 3],
-    &[2, 3],
-    &[0, 2, 3],
-];
+pub const TABLE8_SUBSETS: [&[usize]; 7] = [&[0], &[1], &[3], &[0, 2], &[0, 3], &[2, 3], &[0, 2, 3]];
 /// Section V.A: adversary benefit per alert type (1–7).
 pub const REA_A_BENEFITS: [f64; 7] = [10.0, 12.0, 12.0, 24.0, 25.0, 25.0, 27.0];
 /// Section V.A: penalty for capture.

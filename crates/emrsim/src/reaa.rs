@@ -48,9 +48,7 @@ impl Default for ReaAConfig {
 
 /// Build the Rea A game. Returns the spec together with the fitted alert
 /// profile (useful for reporting the simulated Table VIII statistics).
-pub fn build_game_with_profile(
-    config: &ReaAConfig,
-) -> Result<(GameSpec, AlertProfile), GameError> {
+pub fn build_game_with_profile(config: &ReaAConfig) -> Result<(GameSpec, AlertProfile), GameError> {
     let hospital = Hospital::generate(config.hospital.clone(), config.seed);
     let engine = Hospital::rule_engine();
 

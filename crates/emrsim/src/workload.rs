@@ -25,7 +25,11 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        Self { n_days: 28, benign_per_day: 3500, repeat_fraction: 0.6 }
+        Self {
+            n_days: 28,
+            benign_per_day: 3500,
+            repeat_fraction: 0.6,
+        }
     }
 }
 
@@ -82,8 +86,7 @@ impl<'a> WorkloadGenerator<'a> {
         }
 
         // Same-day repeats: re-emit a random sample of today's events.
-        let n_repeats =
-            (day_events.len() as f64 * self.config.repeat_fraction).round() as usize;
+        let n_repeats = (day_events.len() as f64 * self.config.repeat_fraction).round() as usize;
         for _ in 0..n_repeats {
             let &(e, p) = day_events.choose(&mut rng).expect("day has events");
             day_events.push((e, p));
@@ -150,7 +153,11 @@ mod tests {
         let h = hospital();
         let gen = WorkloadGenerator::new(
             &h,
-            WorkloadConfig { n_days: 40, benign_per_day: 300, repeat_fraction: 0.5 },
+            WorkloadConfig {
+                n_days: 40,
+                benign_per_day: 300,
+                repeat_fraction: 0.5,
+            },
         );
         let mut log = gen.generate(11);
         let dropped = log.dedup_daily();
@@ -175,7 +182,11 @@ mod tests {
         let h = hospital();
         let gen = WorkloadGenerator::new(
             &h,
-            WorkloadConfig { n_days: 2, benign_per_day: 100, repeat_fraction: 1.0 },
+            WorkloadConfig {
+                n_days: 2,
+                benign_per_day: 100,
+                repeat_fraction: 1.0,
+            },
         );
         let mut log = gen.generate(1);
         let before = log.len();
@@ -193,7 +204,11 @@ mod tests {
         let h = hospital();
         let gen = WorkloadGenerator::new(
             &h,
-            WorkloadConfig { n_days: 3, benign_per_day: 50, repeat_fraction: 0.2 },
+            WorkloadConfig {
+                n_days: 3,
+                benign_per_day: 50,
+                repeat_fraction: 0.2,
+            },
         );
         let a = gen.generate(9).to_bytes();
         let b = gen.generate(9).to_bytes();

@@ -239,7 +239,10 @@ impl Hospital {
         let mut guard = 0usize;
         while self.benign_pool.len() < self.config.benign_pool_size {
             guard += 1;
-            assert!(guard < self.config.benign_pool_size * 50, "benign pool stalled");
+            assert!(
+                guard < self.config.benign_pool_size * 50,
+                "benign pool stalled"
+            );
             let e = rng.gen_range(0..n_emp);
             let p = rng.gen_range(0..n_pat);
             if self.planted.contains_key(&(e, p)) {
@@ -332,7 +335,10 @@ impl Hospital {
 
     /// Draw a random benign pair.
     pub fn sample_benign(&self, rng: &mut impl Rng) -> (u32, u32) {
-        *self.benign_pool.choose(rng).expect("benign pool is non-empty")
+        *self
+            .benign_pool
+            .choose(rng)
+            .expect("benign pool is non-empty")
     }
 
     /// The Rea A rule engine: four base rules and the seven registered
@@ -412,7 +418,11 @@ mod tests {
     #[test]
     fn linked_patients_inherit_employee_identity() {
         let h = small();
-        let linked = h.patients.iter().filter(|p| p.employee_link.is_some()).count();
+        let linked = h
+            .patients
+            .iter()
+            .filter(|p| p.employee_link.is_some())
+            .count();
         assert_eq!(linked, 40); // n_patients / 10
         for p in h.patients.iter().filter(|p| p.employee_link.is_some()) {
             let e = &h.employees[p.employee_link.unwrap() as usize];

@@ -38,7 +38,10 @@ impl fmt::Display for LpError {
                 write!(f, "LP is unbounded (ray through column {column})")
             }
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} pivots")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} pivots"
+                )
             }
             LpError::InvalidModel(msg) => write!(f, "invalid LP model: {msg}"),
         }

@@ -15,7 +15,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix of dimension `n × n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Build from row-major data.
@@ -199,10 +202,7 @@ mod tests {
 
     #[test]
     fn singular_detected() {
-        let a = DenseMatrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert!(Lu::factorize(&a).is_none());
     }
 
@@ -221,10 +221,7 @@ mod tests {
     #[test]
     fn permutation_heavy_case() {
         // Leading zero forces pivoting immediately.
-        let a = DenseMatrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
         let lu = Lu::factorize(&a).unwrap();
         let x = lu.solve(&[3.0, 7.0]);
         assert!((x[0] - 7.0).abs() < 1e-12);

@@ -259,7 +259,12 @@ pub fn from_mps(text: &str) -> Result<Problem, LpError> {
                 }
             }
         }
-        p.add_constraint(row_name.clone(), terms, *rel, rhs.get(&i).copied().unwrap_or(0.0));
+        p.add_constraint(
+            row_name.clone(),
+            terms,
+            *rel,
+            rhs.get(&i).copied().unwrap_or(0.0),
+        );
     }
     Ok(p)
 }
@@ -297,7 +302,12 @@ mod tests {
         let b = p.add_free_var("b", 1.0);
         let c = p.add_var("c", 0.5, f64::NEG_INFINITY, 3.0);
         let d = p.add_var("d", 0.0, 4.0, 4.0); // fixed
-        p.add_constraint("r", vec![(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)], Relation::Ge, 1.0);
+        p.add_constraint(
+            "r",
+            vec![(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)],
+            Relation::Ge,
+            1.0,
+        );
         // Bound b below so the model is bounded.
         p.add_constraint("blb", vec![(b, 1.0)], Relation::Ge, -5.0);
         let q = from_mps(&to_mps(&p)).unwrap();

@@ -78,7 +78,11 @@ pub struct Problem {
 impl Problem {
     /// Start an empty model with the given objective sense.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, vars: Vec::new(), constraints: Vec::new() }
+        Self {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Convenience constructor for a minimization model.
@@ -103,7 +107,12 @@ impl Problem {
     /// * `hi` — upper bound (may be `f64::INFINITY`).
     pub fn add_var(&mut self, name: impl Into<String>, obj: f64, lo: f64, hi: f64) -> VarId {
         let id = VarId(self.vars.len());
-        self.vars.push(Var { name: name.into(), obj, lo, hi });
+        self.vars.push(Var {
+            name: name.into(),
+            obj,
+            lo,
+            hi,
+        });
         id
     }
 
@@ -132,7 +141,12 @@ impl Problem {
                 merged.push((v.0, c));
             }
         }
-        self.constraints.push(Constraint { name: name.into(), terms: merged, rel, rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            terms: merged,
+            rel,
+            rhs,
+        });
         id
     }
 

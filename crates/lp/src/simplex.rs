@@ -434,8 +434,7 @@ impl Tableau {
             let Some(enter) = self.choose_entering(bland, opts.cost_tol) else {
                 return Ok(());
             };
-            let Some(leave) =
-                self.choose_leaving(enter, is_artificial, opts.pivot_tol, bland)
+            let Some(leave) = self.choose_leaving(enter, is_artificial, opts.pivot_tol, bland)
             else {
                 return Err(LpError::Unbounded { column: enter });
             };
@@ -447,7 +446,9 @@ impl Tableau {
                 self.allowed[leaving_col] = false;
             }
             if *budget == 0 {
-                return Err(LpError::IterationLimit { iterations: self.iterations });
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
             }
             *budget -= 1;
             if degenerate {
@@ -515,9 +516,8 @@ fn solve_attempt(
         // `choose_leaving` keeps their artificials at level zero).
         for i in 0..tab.m {
             if sf.is_artificial[tab.basis[i]] {
-                let swap = (0..sf.n).find(|&j| {
-                    !sf.is_artificial[j] && tab.at(i, j).abs() > opts.pivot_tol
-                });
+                let swap = (0..sf.n)
+                    .find(|&j| !sf.is_artificial[j] && tab.at(i, j).abs() > opts.pivot_tol);
                 if let Some(j) = swap {
                     let old = tab.basis[i];
                     tab.pivot(j, i);

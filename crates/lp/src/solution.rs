@@ -25,7 +25,12 @@ pub struct Solution {
 
 impl Solution {
     pub(crate) fn new(objective: f64, x: Vec<f64>, duals: Vec<f64>, iterations: usize) -> Self {
-        Self { objective, x, duals, iterations }
+        Self {
+            objective,
+            x,
+            duals,
+            iterations,
+        }
     }
 
     /// Primal value of a variable.

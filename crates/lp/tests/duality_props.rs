@@ -17,10 +17,7 @@ const TOL: f64 = 1e-6;
 /// Random covering-style LP: min cᵀx s.t. Ax ≥ b, x ≥ 0 with strictly
 /// positive A entries and non-negative b, c. Always feasible (scale x up)
 /// and bounded (c ≥ 0 ⇒ objective ≥ 0).
-fn covering_lp(
-    n: usize,
-    m: usize,
-) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+fn covering_lp(n: usize, m: usize) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
     (
         proptest::collection::vec(0.05f64..10.0, n),
         proptest::collection::vec(proptest::collection::vec(0.1f64..5.0, n), m),
@@ -30,10 +27,7 @@ fn covering_lp(
 
 /// Random packing-style LP: max cᵀx s.t. Ax ≤ b, 0 ≤ x. Always feasible
 /// (x = 0) and bounded (A > 0, b finite).
-fn packing_lp(
-    n: usize,
-    m: usize,
-) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+fn packing_lp(n: usize, m: usize) -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
     (
         proptest::collection::vec(0.0f64..10.0, n),
         proptest::collection::vec(proptest::collection::vec(0.1f64..5.0, n), m),
@@ -144,6 +138,9 @@ proptest! {
             let ws: Vec<_> = (0..4)
                 .map(|i| p.add_var(format!("w{i}"), 0.0, 0.0, f64::INFINITY))
                 .collect();
+            // `k` indexes `a` as row or column depending on orientation, so
+            // an enumerate() rewrite would only fit one branch.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..4 {
                 let mut terms = vec![(v, -1.0)];
                 for (i, &w) in ws.iter().enumerate() {

@@ -53,7 +53,12 @@ fn equality_constraints() {
     let x = p.add_var("x", 1.0, 0.0, f64::INFINITY);
     let y = p.add_var("y", 2.0, 0.0, f64::INFINITY);
     let z = p.add_var("z", 3.0, 0.0, f64::INFINITY);
-    p.add_constraint("sum", vec![(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Eq, 10.0);
+    p.add_constraint(
+        "sum",
+        vec![(x, 1.0), (y, 1.0), (z, 1.0)],
+        Relation::Eq,
+        10.0,
+    );
     p.add_constraint("diff", vec![(x, 1.0), (y, -1.0)], Relation::Eq, 2.0);
     let s = p.solve().unwrap();
     // Push everything into x,y (z most expensive): x = 6, y = 4, z = 0 → 14.
@@ -258,7 +263,10 @@ fn iteration_limit_respected() {
     p.add_constraint("c1", vec![(x, 1.0)], Relation::Le, 4.0);
     p.add_constraint("c2", vec![(y, 2.0)], Relation::Le, 12.0);
     p.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-    let opts = lp_solver::SimplexOptions { max_iterations: 0, ..Default::default() };
+    let opts = lp_solver::SimplexOptions {
+        max_iterations: 0,
+        ..Default::default()
+    };
     assert!(matches!(
         p.solve_with(&opts),
         Err(LpError::IterationLimit { .. })
@@ -278,25 +286,29 @@ fn empty_constraint_set_uses_bounds() {
 fn matrix_game_value_consistency() {
     // Zero-sum matrix game solved from both players' sides must produce the
     // same value — this mirrors exactly how audit-game uses the solver.
-    let a = [
-        [3.0, -1.0, 2.0],
-        [-2.0, 4.0, 0.0],
-        [1.0, 1.0, -1.0],
-    ];
+    let a = [[3.0, -1.0, 2.0], [-2.0, 4.0, 0.0], [1.0, 1.0, -1.0]];
     // Row player maximizes v s.t. Σ_i p_i a[i][j] ≥ v ∀j, Σ p = 1, p ≥ 0.
     let mut row = Problem::maximize();
     let v = row.add_free_var("v", 1.0);
     let ps: Vec<_> = (0..3)
         .map(|i| row.add_var(format!("p{i}"), 0.0, 0.0, f64::INFINITY))
         .collect();
+    // `j` walks columns of the row-major payoff matrix; enumerate() over
+    // `a` would iterate rows instead.
+    #[allow(clippy::needless_range_loop)]
     for j in 0..3 {
         let mut terms = vec![(v, -1.0)];
-        for i in 0..3 {
-            terms.push((ps[i], a[i][j]));
+        for (i, &p) in ps.iter().enumerate() {
+            terms.push((p, a[i][j]));
         }
         row.add_constraint(format!("col{j}"), terms, Relation::Ge, 0.0);
     }
-    row.add_constraint("simplex", ps.iter().map(|&p| (p, 1.0)).collect(), Relation::Eq, 1.0);
+    row.add_constraint(
+        "simplex",
+        ps.iter().map(|&p| (p, 1.0)).collect(),
+        Relation::Eq,
+        1.0,
+    );
     let rs = row.solve().unwrap();
 
     // Column player minimizes w s.t. Σ_j q_j a[i][j] ≤ w ∀i.
@@ -305,14 +317,19 @@ fn matrix_game_value_consistency() {
     let qs: Vec<_> = (0..3)
         .map(|j| col.add_var(format!("q{j}"), 0.0, 0.0, f64::INFINITY))
         .collect();
-    for i in 0..3 {
+    for (i, row_a) in a.iter().enumerate() {
         let mut terms = vec![(w, -1.0)];
-        for j in 0..3 {
-            terms.push((qs[j], a[i][j]));
+        for (j, &q) in qs.iter().enumerate() {
+            terms.push((q, row_a[j]));
         }
         col.add_constraint(format!("row{i}"), terms, Relation::Le, 0.0);
     }
-    col.add_constraint("simplex", qs.iter().map(|&q| (q, 1.0)).collect(), Relation::Eq, 1.0);
+    col.add_constraint(
+        "simplex",
+        qs.iter().map(|&q| (q, 1.0)).collect(),
+        Relation::Eq,
+        1.0,
+    );
     let cs = col.solve().unwrap();
 
     assert_close(rs.objective, cs.objective);

@@ -31,11 +31,7 @@ impl SampleBank {
     ///
     /// Each type is sampled from its own derived RNG stream so that adding
     /// or removing a type does not perturb the draws of the others.
-    pub fn generate(
-        dists: &[Box<dyn CountDistribution>],
-        n_samples: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(dists: &[Box<dyn CountDistribution>], n_samples: usize, seed: u64) -> Self {
         Self::generate_from(dists.iter().map(|d| d.as_ref()), n_samples, seed)
     }
 
@@ -55,7 +51,11 @@ impl SampleBank {
                 data[s * n_types + t] = dist.sample(&mut rng);
             }
         }
-        Self { n_types, n_samples, data }
+        Self {
+            n_types,
+            n_samples,
+            data,
+        }
     }
 
     /// Build from explicit rows (used by tests and the hardness reduction,
@@ -70,7 +70,11 @@ impl SampleBank {
             assert_eq!(row.len(), n_types, "ragged sample rows");
             data.extend_from_slice(row);
         }
-        Self { n_types, n_samples, data }
+        Self {
+            n_types,
+            n_samples,
+            data,
+        }
     }
 
     /// Number of alert types per row.
@@ -141,8 +145,7 @@ mod tests {
     fn per_type_streams_are_stable() {
         // Adding a new type must not change the draws of existing types.
         let all = dists();
-        let narrow =
-            SampleBank::generate_from(all[..2].iter().map(|d| d.as_ref()), 100, 5);
+        let narrow = SampleBank::generate_from(all[..2].iter().map(|d| d.as_ref()), 100, 5);
         let wide = SampleBank::generate(&all, 100, 5);
         for s in 0..100 {
             assert_eq!(narrow.row(s)[0], wide.row(s)[0]);

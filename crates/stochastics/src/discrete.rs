@@ -103,12 +103,13 @@ impl DiscretizedGaussian {
     /// least `coverage` (e.g. 0.995) of the underlying Gaussian mass.
     pub fn with_coverage(mean: f64, std: f64, coverage: f64) -> Self {
         assert!(
-            (0.0..1.0).contains(&coverage) || coverage < 1.0,
+            coverage > 0.0 && coverage < 1.0,
             "coverage must be in (0,1)"
         );
-        assert!(coverage > 0.0 && coverage < 1.0, "coverage must be in (0,1)");
         let tail = (1.0 - coverage) / 2.0;
-        let halfwidth = (normal_quantile(1.0 - tail, 0.0, 1.0) * std).ceil().max(1.0) as u64;
+        let halfwidth = (normal_quantile(1.0 - tail, 0.0, 1.0) * std)
+            .ceil()
+            .max(1.0) as u64;
         Self::with_halfwidth(mean, std, halfwidth)
     }
 
@@ -128,7 +129,13 @@ impl DiscretizedGaussian {
         for p in &mut pmf {
             *p /= total;
         }
-        Self { mean, std, lo, hi, pmf }
+        Self {
+            mean,
+            std,
+            lo,
+            hi,
+            pmf,
+        }
     }
 
     /// The underlying Gaussian mean parameter.
@@ -179,7 +186,10 @@ impl Empirical {
         for &o in obs {
             weights[o as usize] += 1;
         }
-        Self { total: obs.len() as u64, weights }
+        Self {
+            total: obs.len() as u64,
+            weights,
+        }
     }
 
     /// Build directly from a histogram `weights[n] = #periods with n alerts`.
@@ -246,7 +256,11 @@ impl Poisson {
         for q in &mut pmf {
             *q /= total;
         }
-        Self { lambda, cap: n, pmf }
+        Self {
+            lambda,
+            cap: n,
+            pmf,
+        }
     }
 
     /// The rate parameter λ.

@@ -66,8 +66,16 @@ mod tests {
         let mut rng = seeded_rng(21);
         let obs: Vec<u64> = (0..5000).map(|_| truth.sample(&mut rng)).collect();
         let fit = fit_discretized_gaussian(&obs, 0.995);
-        assert!((fit.gaussian_mean() - 20.0).abs() < 0.3, "mean {}", fit.gaussian_mean());
-        assert!((fit.gaussian_std() - 4.0).abs() < 0.4, "std {}", fit.gaussian_std());
+        assert!(
+            (fit.gaussian_mean() - 20.0).abs() < 0.3,
+            "mean {}",
+            fit.gaussian_mean()
+        );
+        assert!(
+            (fit.gaussian_std() - 4.0).abs() < 0.4,
+            "std {}",
+            fit.gaussian_std()
+        );
     }
 
     #[test]

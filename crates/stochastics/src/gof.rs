@@ -35,11 +35,7 @@ impl ChiSquare {
 ///
 /// Bins are the model's support values; adjacent bins are pooled until each
 /// has expected count ≥ `min_expected` (5 is the classical rule of thumb).
-pub fn chi_square(
-    obs: &[u64],
-    model: &dyn CountDistribution,
-    min_expected: f64,
-) -> ChiSquare {
+pub fn chi_square(obs: &[u64], model: &dyn CountDistribution, min_expected: f64) -> ChiSquare {
     assert!(!obs.is_empty(), "need observations");
     let n = obs.len() as f64;
     let lo = model.support_min();
@@ -73,14 +69,19 @@ pub fn chi_square(
             acc_e = 0.0;
         }
     }
-    ChiSquare { statistic: stat, dof: bins.saturating_sub(1).max(1) }
+    ChiSquare {
+        statistic: stat,
+        dof: bins.saturating_sub(1).max(1),
+    }
 }
 
 /// Discrete Kolmogorov–Smirnov statistic `sup_n |F̂(n) − F(n)|`.
 pub fn ks_statistic(obs: &[u64], model: &dyn CountDistribution) -> f64 {
     assert!(!obs.is_empty(), "need observations");
     let n = obs.len() as f64;
-    let hi = model.support_max().max(*obs.iter().max().expect("non-empty"));
+    let hi = model
+        .support_max()
+        .max(*obs.iter().max().expect("non-empty"));
     let mut sorted = obs.to_vec();
     sorted.sort_unstable();
     let mut worst: f64 = 0.0;
@@ -122,7 +123,11 @@ mod tests {
         let wrong = UniformCount::new(3, 17);
         let obs = draws(&truth, 4000, 3);
         let c = chi_square(&obs, &wrong, 5.0);
-        assert!(!c.plausible(6.0), "uniform should be rejected: χ² {}", c.statistic);
+        assert!(
+            !c.plausible(6.0),
+            "uniform should be rejected: χ² {}",
+            c.statistic
+        );
     }
 
     #[test]

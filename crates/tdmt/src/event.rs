@@ -76,7 +76,12 @@ pub struct AccessEvent {
 impl AccessEvent {
     /// Construct a bare event.
     pub fn new(entity: EntityId, record: RecordId, day: u32) -> Self {
-        Self { entity, record, day, attributes: Vec::new() }
+        Self {
+            entity,
+            record,
+            day,
+            attributes: Vec::new(),
+        }
     }
 
     /// Attach (or replace) an attribute; builder style.
@@ -88,7 +93,10 @@ impl AccessEvent {
     /// Attach (or replace) an attribute.
     pub fn set_attr(&mut self, key: impl Into<String>, value: AttrValue) {
         let key = key.into();
-        match self.attributes.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+        match self
+            .attributes
+            .binary_search_by(|(k, _)| k.as_str().cmp(&key))
+        {
             Ok(i) => self.attributes[i].1 = value,
             Err(i) => self.attributes.insert(i, (key, value)),
         }
@@ -154,8 +162,7 @@ mod tests {
     #[test]
     fn daily_key_distinguishes_days_not_repeats() {
         let a = AccessEvent::new(EntityId(1), RecordId(2), 3);
-        let b = AccessEvent::new(EntityId(1), RecordId(2), 3)
-            .with_attr("x", AttrValue::Int(1));
+        let b = AccessEvent::new(EntityId(1), RecordId(2), 3).with_attr("x", AttrValue::Int(1));
         let c = AccessEvent::new(EntityId(1), RecordId(2), 4);
         assert_eq!(a.daily_key(), b.daily_key());
         assert_ne!(a.daily_key(), c.daily_key());

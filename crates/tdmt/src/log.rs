@@ -136,7 +136,10 @@ impl AuditLog {
                 bytes.remaining()
             ));
         }
-        let mut log = AuditLog { events: Vec::with_capacity(n), n_days };
+        let mut log = AuditLog {
+            events: Vec::with_capacity(n),
+            n_days,
+        };
         for _ in 0..n {
             let entity = crate::event::EntityId(bytes.get_u32());
             let record = crate::event::RecordId(bytes.get_u32());

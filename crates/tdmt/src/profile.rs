@@ -73,7 +73,13 @@ impl AlertProfile {
             };
             distributions.push(dist);
         }
-        Self { type_names, observations, distributions, means, stds }
+        Self {
+            type_names,
+            observations,
+            distributions,
+            means,
+            stds,
+        }
     }
 
     /// Number of alert types.
@@ -89,10 +95,7 @@ mod tests {
     use crate::rules::{CombinationPolicy, Rule};
 
     fn build_log(per_day: &[u64]) -> (AuditLog, RuleEngine) {
-        let engine = RuleEngine::new(
-            vec![Rule::flag("r", "hit")],
-            CombinationPolicy::FirstMatch,
-        );
+        let engine = RuleEngine::new(vec![Rule::flag("r", "hit")], CombinationPolicy::FirstMatch);
         let mut log = AuditLog::new();
         for (day, &n) in per_day.iter().enumerate() {
             for i in 0..n {
@@ -121,7 +124,11 @@ mod tests {
         let (log, engine) = build_log(&[8, 10, 12, 9, 11, 10, 10, 9]);
         let p = AlertProfile::fit(&log, &engine, FitKind::Gaussian);
         let d = &p.distributions[0];
-        assert!(d.support_max() >= 12, "support {} too tight", d.support_max());
+        assert!(
+            d.support_max() >= 12,
+            "support {} too tight",
+            d.support_max()
+        );
         assert!((d.mean() - p.means[0]).abs() < 0.5);
     }
 

@@ -25,7 +25,10 @@ impl Rule {
         name: impl Into<String>,
         predicate: impl Fn(&AccessEvent) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), predicate: Arc::new(predicate) }
+        Self {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+        }
     }
 
     /// Convenience: rule that fires when a boolean attribute is set.
@@ -119,7 +122,10 @@ impl RuleEngine {
         );
         base_rules.sort_unstable();
         base_rules.dedup();
-        assert!(!base_rules.is_empty(), "a combination needs at least one rule");
+        assert!(
+            !base_rules.is_empty(),
+            "a combination needs at least one rule"
+        );
         assert!(
             base_rules.iter().all(|&r| r < self.rules.len()),
             "combination references unknown base rule"
@@ -169,11 +175,9 @@ impl RuleEngine {
         }
         match self.policy {
             CombinationPolicy::FirstMatch => Ok(Some(firing[0])),
-            CombinationPolicy::Registered => self
-                .combos
-                .get(&firing)
-                .map(|&t| Some(t))
-                .ok_or(firing),
+            CombinationPolicy::Registered => {
+                self.combos.get(&firing).map(|&t| Some(t)).ok_or(firing)
+            }
         }
     }
 }

@@ -12,9 +12,11 @@ use alert_audit::game::ishm::{CggsEvaluator, Ishm, IshmConfig};
 use creditsim::reab::{build_game_with_profile, ReaBConfig};
 
 fn main() {
-    let (base_spec, profile) =
-        build_game_with_profile(&ReaBConfig { seed: 17, ..Default::default() })
-            .expect("Rea B builds");
+    let (base_spec, profile) = build_game_with_profile(&ReaBConfig {
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("Rea B builds");
 
     println!("fitted alert-count statistics (cf. paper Table IX):");
     for t in 0..profile.n_types() {
@@ -32,7 +34,10 @@ fn main() {
         spec.budget = budget;
         let bank = spec.sample_bank(300, 5);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
-        let ishm = Ishm::new(IshmConfig { epsilon: 0.2, ..Default::default() });
+        let ishm = Ishm::new(IshmConfig {
+            epsilon: 0.2,
+            ..Default::default()
+        });
         let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
         let outcome = ishm.solve(&spec, &mut eval).expect("solves");
         let deterred = outcome

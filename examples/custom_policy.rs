@@ -26,11 +26,17 @@ fn main() {
         .solve(&spec, &est, &thresholds)
         .expect("solves");
     let precedence = PrecedenceConstraints::new(vec![(0, 3)], 4).expect("acyclic");
-    let constrained = Cggs::new(CggsConfig { precedence, ..Default::default() })
-        .solve(&spec, &est, &thresholds)
-        .expect("solves");
+    let constrained = Cggs::new(CggsConfig {
+        precedence,
+        ..Default::default()
+    })
+    .solve(&spec, &est, &thresholds)
+    .expect("solves");
     println!("Syn A @ B=6, thresholds [2,2,2,2]:");
-    println!("  unconstrained loss:          {:.4}", unconstrained.master.value);
+    println!(
+        "  unconstrained loss:          {:.4}",
+        unconstrained.master.value
+    );
     println!(
         "  with 'type 1 before type 4': {:.4}  (constraints can only cost)",
         constrained.master.value
@@ -50,7 +56,9 @@ fn main() {
         ("operational recourse", DetectionModel::Operational),
     ] {
         let est = DetectionEstimator::new(&spec, &bank, model);
-        let out = Cggs::default().solve(&spec, &est, &thresholds).expect("solves");
+        let out = Cggs::default()
+            .solve(&spec, &est, &thresholds)
+            .expect("solves");
         println!("  {name}: loss {:.4}", out.master.value);
     }
 

@@ -32,7 +32,10 @@ fn main() {
     let working = spec.dedup_actions();
     let bank = working.sample_bank(400, 1);
     let est = DetectionEstimator::new(&working, &bank, DetectionModel::PaperApprox);
-    let ishm = Ishm::new(IshmConfig { epsilon: 0.2, ..Default::default() });
+    let ishm = Ishm::new(IshmConfig {
+        epsilon: 0.2,
+        ..Default::default()
+    });
     let mut eval = CggsEvaluator::new(&working, est, CggsConfig::default());
     let outcome = ishm.solve(&working, &mut eval).expect("ISHM solves");
 
@@ -41,12 +44,15 @@ fn main() {
     for (t, b) in outcome.thresholds.iter().enumerate() {
         println!("  {:<38} threshold {:>4.0}", working.alert_types[t].name, b);
     }
-    println!("  mixture support: {} orders", outcome
-        .master
-        .p_orders
-        .iter()
-        .filter(|&&p| p > 1e-4)
-        .count());
+    println!(
+        "  mixture support: {} orders",
+        outcome
+            .master
+            .p_orders
+            .iter()
+            .filter(|&&p| p > 1e-4)
+            .count()
+    );
 
     // 3. Baselines for context (Figure 1's comparison).
     let rnd_orders =

@@ -85,7 +85,10 @@ fn main() {
     // 4. Use the policy operationally: one day of realized alerts.
     // ------------------------------------------------------------------
     let alerts: Vec<RealizedAlert> = (0..6)
-        .map(|i| RealizedAlert { alert_type: (i % 3) as usize, id: 100 + i })
+        .map(|i| RealizedAlert {
+            alert_type: (i % 3) as usize,
+            id: 100 + i,
+        })
         .collect();
     let mut rng = stochastics::seeded_rng(99);
     let run = execute_policy(&solution.policy, &spec, &alerts, &mut rng);

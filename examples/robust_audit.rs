@@ -58,8 +58,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\nquantal-response attackers (λ sweep):");
     for lambda in [0.0, 0.5, 2.0, 10.0] {
-        let out = solve_qr_thresholds(&spec, &est, QuantalResponse::new(lambda), 0.25)
-            .expect("solves");
+        let out =
+            solve_qr_thresholds(&spec, &est, QuantalResponse::new(lambda), 0.25).expect("solves");
         println!("  λ = {lambda:>4}: optimized QR loss {:+.4}", out.value);
     }
 
@@ -77,7 +77,10 @@ fn main() {
         ("zero-sum-equivalent", DamageModel::default()),
         (
             "fines dwarf gains  ",
-            DamageModel { damage_per_reward: 4.0, recovery_per_penalty: 0.5 },
+            DamageModel {
+                damage_per_reward: 4.0,
+                recovery_per_penalty: 0.5,
+            },
         ),
     ] {
         let d = damage_under_mixture(&spec, &matrix, &master.p_orders, &model);

@@ -59,14 +59,25 @@ fn emr_pipeline_beats_baselines_and_executes() {
     let bank = spec.sample_bank(200, 5);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
 
-    let ishm = Ishm::new(IshmConfig { epsilon: 0.3, ..Default::default() });
+    let ishm = Ishm::new(IshmConfig {
+        epsilon: 0.3,
+        ..Default::default()
+    });
     let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
     let outcome = ishm.solve(&spec, &mut eval).unwrap();
 
     let rnd = random_orders_loss(&spec, &est, &outcome.thresholds, 200, 9).unwrap();
     let greedy = greedy_by_benefit_loss(&spec, &est).unwrap();
-    assert!(outcome.value <= rnd + 1e-6, "proposed {} vs random orders {rnd}", outcome.value);
-    assert!(outcome.value <= greedy + 1e-6, "proposed {} vs greedy {greedy}", outcome.value);
+    assert!(
+        outcome.value <= rnd + 1e-6,
+        "proposed {} vs random orders {rnd}",
+        outcome.value
+    );
+    assert!(
+        outcome.value <= greedy + 1e-6,
+        "proposed {} vs greedy {greedy}",
+        outcome.value
+    );
 
     // The solved policy is deployable on a realized alert queue.
     let policy = AuditPolicy::new(
@@ -75,7 +86,10 @@ fn emr_pipeline_beats_baselines_and_executes() {
         outcome.master.p_orders.clone(),
     );
     let alerts: Vec<RealizedAlert> = (0..40)
-        .map(|i| RealizedAlert { alert_type: (i % 7) as usize, id: i })
+        .map(|i| RealizedAlert {
+            alert_type: (i % 7) as usize,
+            id: i,
+        })
         .collect();
     let run = execute_policy(&policy, &spec, &alerts, &mut stochastics::seeded_rng(2));
     assert!(run.spent <= spec.budget + 1e-9);
@@ -96,7 +110,10 @@ fn credit_pipeline_deters_at_high_budget() {
         spec.budget = budget;
         let bank = spec.sample_bank(150, 4);
         let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
-        let ishm = Ishm::new(IshmConfig { epsilon: 0.3, ..Default::default() });
+        let ishm = Ishm::new(IshmConfig {
+            epsilon: 0.3,
+            ..Default::default()
+        });
         let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
         ishm.solve(&spec, &mut eval).unwrap().value
     };
@@ -133,13 +150,19 @@ fn exact_and_cggs_inner_agree_on_syn_a() {
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
 
     let mut exact = ExactEvaluator::new(&spec, est);
-    let a = Ishm::new(IshmConfig { epsilon: 0.25, ..Default::default() })
-        .solve(&spec, &mut exact)
-        .unwrap();
+    let a = Ishm::new(IshmConfig {
+        epsilon: 0.25,
+        ..Default::default()
+    })
+    .solve(&spec, &mut exact)
+    .unwrap();
     let mut cggs = CggsEvaluator::new(&spec, est, CggsConfig::default());
-    let b = Ishm::new(IshmConfig { epsilon: 0.25, ..Default::default() })
-        .solve(&spec, &mut cggs)
-        .unwrap();
+    let b = Ishm::new(IshmConfig {
+        epsilon: 0.25,
+        ..Default::default()
+    })
+    .solve(&spec, &mut cggs)
+    .unwrap();
     // For a FIXED threshold vector CGGS can only be equal or worse than the
     // exact inner LP, but ISHM's search *trajectory* differs between the
     // two evaluators, so either may land in the better local optimum. The

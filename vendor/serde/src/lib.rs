@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! Mirrors the subset of serde's surface the workspace touches: the
+//! `Serialize` / `Deserialize` trait names and the derive macros re-exported
+//! under the same names (serde's `derive` feature). The traits are markers —
+//! the workspace never calls a serializer, it only tags types as
+//! serializable for future wire formats. Replacing this with real serde is a
+//! drop-in swap in the root `[workspace.dependencies]`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// Every type is trivially "serializable" under the shim, so manual bounds
+// like `T: Serialize` keep compiling if they appear later.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

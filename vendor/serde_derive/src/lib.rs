@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! markers on data types — nothing serializes at runtime yet. These derives
+//! therefore expand to nothing; they exist so the derive attribute resolves.
+//! Swap `vendor/serde*` for the real crates.io releases to get actual
+//! serialization (no source changes needed, the derive surface is identical).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
