@@ -1,0 +1,171 @@
+//! P4 — the batched `Pal` engine vs the scalar reference path:
+//!
+//! * `pal_frontier`: evaluating a 24-order candidate frontier one call at a
+//!   time (scalar) vs one batch (engine, 1 and 4 workers);
+//! * `ishm_engine`: a full ISHM run with the memoizing engine vs the same
+//!   run with caching disabled — isolating what the estimate cache buys
+//!   the shrinking search;
+//! * `cggs_engine`: one CGGS solve, cached vs uncached engine.
+//!
+//! Engine results are bit-identical to the scalar path at every thread
+//! count (enforced by `tests/detection_equivalence.rs`), so these compare
+//! equal outputs at different speeds.
+
+use audit_game::cggs::{Cggs, CggsConfig};
+use audit_game::datasets::syn_a_with_budget;
+use audit_game::detection::{DetectionEstimator, DetectionModel, PalEngine, PalQuery};
+use audit_game::error::GameError;
+use audit_game::ishm::{ExactEvaluator, Ishm, IshmConfig, ThresholdEvaluator};
+use audit_game::master::{MasterSolution, MasterSolver};
+use audit_game::model::GameSpec;
+use audit_game::ordering::AuditOrder;
+use audit_game::payoff::PayoffMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SAMPLES: usize = 1000;
+
+/// The pre-engine exact evaluator, reconstructed through the public API:
+/// scalar row-major `Pal` walks, no estimate cache, no objective memo —
+/// the baseline the batched engine is measured against.
+struct LegacyExactEvaluator<'a> {
+    spec: &'a GameSpec,
+    est: DetectionEstimator<'a>,
+    orders: Vec<AuditOrder>,
+}
+
+impl ThresholdEvaluator for LegacyExactEvaluator<'_> {
+    fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
+        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        Ok(MasterSolver::solve(self.spec, &m)?.value)
+    }
+
+    fn solve_full(
+        &mut self,
+        thresholds: &[f64],
+    ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError> {
+        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        let sol = MasterSolver::solve(self.spec, &m)?;
+        Ok((sol, m.orders))
+    }
+}
+
+fn bench_pal_frontier(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+    let orders = AuditOrder::enumerate_all(4);
+    let queries: Vec<PalQuery> = orders
+        .iter()
+        .map(|o| PalQuery::full(o, &thresholds))
+        .collect();
+
+    let mut group = c.benchmark_group("pal_frontier_24_orders");
+    group.bench_function("scalar_one_by_one", |b| {
+        b.iter(|| {
+            orders
+                .iter()
+                .map(|o| est.pal(o, &thresholds))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("engine_batch_1_thread", |b| {
+        let engine = PalEngine::uncached(est, 1);
+        b.iter(|| engine.pal_batch(&queries))
+    });
+    group.bench_function("engine_batch_4_threads", |b| {
+        let engine = PalEngine::uncached(est, 4);
+        b.iter(|| engine.pal_batch(&queries))
+    });
+    group.finish();
+}
+
+fn bench_ishm_engine(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let ishm = Ishm::new(IshmConfig {
+        epsilon: 0.1,
+        ..Default::default()
+    });
+    let orders = AuditOrder::enumerate_all(4);
+
+    let mut group = c.benchmark_group("ishm_syn_a_b6");
+    group.sample_size(10);
+    group.bench_function("legacy_scalar_no_memo", |b| {
+        b.iter(|| {
+            let mut eval = LegacyExactEvaluator {
+                spec: &spec,
+                est,
+                orders: orders.clone(),
+            };
+            ishm.solve(&spec, &mut eval).expect("solves")
+        })
+    });
+    group.bench_function("uncached_engine", |b| {
+        b.iter(|| {
+            let mut eval =
+                ExactEvaluator::from_engine(&spec, PalEngine::uncached(est, 1), orders.clone());
+            ishm.solve(&spec, &mut eval).expect("solves")
+        })
+    });
+    group.bench_function("cached_engine", |b| {
+        b.iter(|| {
+            let mut eval = ExactEvaluator::new(&spec, est);
+            ishm.solve(&spec, &mut eval).expect("solves")
+        })
+    });
+    group.bench_function("cached_engine_4_threads", |b| {
+        b.iter(|| {
+            let mut eval = ExactEvaluator::with_threads(&spec, est, 4);
+            ishm.solve(&spec, &mut eval).expect("solves")
+        })
+    });
+    group.finish();
+}
+
+fn bench_cggs_engine(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+
+    let mut group = c.benchmark_group("cggs_syn_a_b6");
+    group.sample_size(20);
+    group.bench_function("uncached_engine", |b| {
+        let cggs = Cggs::default();
+        b.iter(|| {
+            let engine = PalEngine::uncached(est, 1);
+            cggs.solve_with_engine(&spec, &engine, &thresholds)
+                .expect("solves")
+        })
+    });
+    group.bench_function("cached_engine", |b| {
+        let cggs = Cggs::default();
+        b.iter(|| {
+            let engine = PalEngine::new(est, 1);
+            cggs.solve_with_engine(&spec, &engine, &thresholds)
+                .expect("solves")
+        })
+    });
+    group.bench_function("cached_engine_4_threads", |b| {
+        let cggs = Cggs::new(CggsConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        b.iter(|| {
+            let engine = PalEngine::new(est, 4);
+            cggs.solve_with_engine(&spec, &engine, &thresholds)
+                .expect("solves")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pal_frontier,
+    bench_ishm_engine,
+    bench_cggs_engine
+);
+criterion_main!(benches);

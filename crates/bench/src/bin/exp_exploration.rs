@@ -3,19 +3,23 @@
 //! against the exhaustive lattice of 7680 vectors.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_exploration [budgets] [epsilons]
+//! cargo run -p audit-bench --release --bin exp_exploration [budgets] [epsilons] [samples] [threads]
 //! ```
 
-use audit_bench::defaults::{parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::defaults::{
+    default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
+};
 use audit_bench::report::Table;
 use audit_bench::syn_experiments::{exploration_summary, ishm_grid};
 
 fn main() {
     let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
     let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
+    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
+    let threads = parse_count(std::env::args().nth(4), default_threads());
     eprintln!("Section IV.C exploration vectors T and T'");
     let t0 = std::time::Instant::now();
-    let grid = ishm_grid(&budgets, &epsilons, false, SYN_SAMPLES, SEED).expect("grid");
+    let grid = ishm_grid(&budgets, &epsilons, false, samples, SEED, threads).expect("grid");
     let summary = exploration_summary(&grid);
 
     let mut table = Table::new(vec!["eps", "T (mean explored)", "T' (ratio of lattice)"]);

@@ -3,15 +3,19 @@
 //! {0.1, 0.2, 0.3}) and the three baselines.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_fig1 [budgets] [--small]
+//! cargo run -p audit-bench --release --bin exp_fig1 [budgets] [samples] [repeats] [threads]
 //! ```
 //!
-//! `--small` uses the laptop-scale Rea A configuration (fewer simulated
-//! people, identical statistical structure) — the default here, since the
-//! full-scale world only changes simulation time, not the game.
+//! `samples` overrides the Monte-Carlo sample count, `repeats` the
+//! random-threshold baseline repetitions, `threads` the detection-engine
+//! workers (default: `AUDIT_THREADS` or 1; thread count never changes the
+//! numbers). The laptop-scale Rea A configuration is used (fewer simulated
+//! people, identical statistical structure), since the full-scale world
+//! only changes simulation time, not the game.
 
 use audit_bench::defaults::{
-    FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS, REAL_SAMPLES, SEED,
+    default_threads, parse_count, FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS,
+    REAL_SAMPLES, SEED,
 };
 use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
 
@@ -26,6 +30,9 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(audit_bench::defaults::fig1_budgets);
+    let samples = parse_count(args.get(2).cloned(), REAL_SAMPLES);
+    let repeats = parse_count(args.get(3).cloned(), RANDOM_THRESHOLD_REPEATS);
+    let threads = parse_count(args.get(4).cloned(), default_threads());
 
     eprintln!("Figure 1 reproduction: Rea A (synthetic VUMC EMR workload)");
     let t0 = std::time::Instant::now();
@@ -42,11 +49,12 @@ fn main() {
 
     let sweep = SweepConfig {
         epsilons: FIG_EPSILONS.to_vec(),
-        n_samples: REAL_SAMPLES,
+        n_samples: samples,
         seed: SEED,
         random_order_samples: RANDOM_ORDER_SAMPLES,
-        random_threshold_repeats: RANDOM_THRESHOLD_REPEATS,
+        random_threshold_repeats: repeats,
         dedup_actions: true,
+        threads,
     };
     let data = budget_sweep(&spec, &budgets, &sweep).expect("sweep solves");
     println!("{}", render_figure(&data));

@@ -3,23 +3,28 @@
 //! three baselines.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_fig2 [budgets]
+//! cargo run -p audit-bench --release --bin exp_fig2 [budgets] [samples] [repeats] [threads]
 //! ```
 
 use audit_bench::defaults::{
-    FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS, REAL_SAMPLES, SEED,
+    default_threads, parse_count, FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS,
+    REAL_SAMPLES, SEED,
 };
 use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
 
 fn main() {
-    let budgets: Vec<f64> = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let budgets: Vec<f64> = args
+        .get(1)
         .map(|s| {
             s.split(',')
                 .map(|x| x.parse().expect("numeric list"))
                 .collect()
         })
         .unwrap_or_else(audit_bench::defaults::fig2_budgets);
+    let samples = parse_count(args.get(2).cloned(), REAL_SAMPLES);
+    let repeats = parse_count(args.get(3).cloned(), RANDOM_THRESHOLD_REPEATS);
+    let threads = parse_count(args.get(4).cloned(), default_threads());
 
     eprintln!("Figure 2 reproduction: Rea B (synthetic Statlog credit data)");
     let t0 = std::time::Instant::now();
@@ -39,11 +44,12 @@ fn main() {
 
     let sweep = SweepConfig {
         epsilons: FIG_EPSILONS.to_vec(),
-        n_samples: REAL_SAMPLES,
+        n_samples: samples,
         seed: SEED,
         random_order_samples: RANDOM_ORDER_SAMPLES,
-        random_threshold_repeats: RANDOM_THRESHOLD_REPEATS,
+        random_threshold_repeats: repeats,
         dedup_actions: true,
+        threads,
     };
     let data = budget_sweep(&spec, &budgets, &sweep).expect("sweep solves");
     println!("{}", render_figure(&data));

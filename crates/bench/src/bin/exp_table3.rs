@@ -2,13 +2,15 @@
 //! budgets 2..=20, found by exhaustive threshold search + exact master LP.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table3 [budgets] [samples]
+//! cargo run -p audit-bench --release --bin exp_table3 [budgets] [samples] [threads]
 //! ```
 //!
 //! `budgets` is a comma-separated list (default: the paper's 2..=20 grid);
-//! `samples` overrides the Monte-Carlo sample count (default: 1000).
+//! `samples` overrides the Monte-Carlo sample count (default: 1000);
+//! `threads` sets the detection-engine workers (default: `AUDIT_THREADS`
+//! or 1 — thread count never changes the numbers, only the wall clock).
 
-use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_SAMPLES};
+use audit_bench::defaults::{default_threads, parse_count, SEED, SYN_BUDGETS, SYN_SAMPLES};
 use audit_bench::report::{f4, support_str, thresholds_str, Table};
 use audit_bench::syn_experiments::table3;
 use audit_game::datasets::syn_a_with_budget;
@@ -22,17 +24,14 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| SYN_BUDGETS.to_vec());
-    let samples: usize = std::env::args()
-        .nth(2)
-        .map(|s| s.parse().expect("samples is a positive integer"))
-        .unwrap_or(SYN_SAMPLES);
+    let samples = parse_count(std::env::args().nth(2), SYN_SAMPLES);
+    let threads = parse_count(std::env::args().nth(3), default_threads());
 
     eprintln!(
-        "Table III reproduction: Syn A brute force, {} samples, seed {SEED}",
-        samples
+        "Table III reproduction: Syn A brute force, {samples} samples, seed {SEED}, {threads} engine thread(s)"
     );
     let t0 = std::time::Instant::now();
-    let rows = table3(&budgets, samples, SEED).expect("brute force solves");
+    let rows = table3(&budgets, samples, SEED, threads).expect("brute force solves");
     let costs = syn_a_with_budget(2.0).audit_costs();
 
     let mut table = Table::new(vec![

@@ -2,10 +2,12 @@
 //! inner solver across the same (B, ε) grid as Table IV.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons]
+//! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons] [samples] [threads]
 //! ```
 
-use audit_bench::defaults::{parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
+use audit_bench::defaults::{
+    default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
+};
 use audit_bench::report::{f4, thresholds_str, Table};
 use audit_bench::syn_experiments::ishm_grid;
 use audit_game::datasets::syn_a_with_budget;
@@ -13,9 +15,12 @@ use audit_game::datasets::syn_a_with_budget;
 fn main() {
     let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
     let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
-    eprintln!("Table V reproduction: ISHM + CGGS ({SYN_SAMPLES} samples)");
+    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
+    let threads = parse_count(std::env::args().nth(4), default_threads());
+    eprintln!("Table V reproduction: ISHM + CGGS ({samples} samples, {threads} engine thread(s))");
     let t0 = std::time::Instant::now();
-    let grid = ishm_grid(&budgets, &epsilons, true, SYN_SAMPLES, SEED).expect("ISHM+CGGS grid");
+    let grid =
+        ishm_grid(&budgets, &epsilons, true, samples, SEED, threads).expect("ISHM+CGGS grid");
     let costs = syn_a_with_budget(2.0).audit_costs();
 
     let mut header: Vec<String> = vec!["B".into()];

@@ -49,6 +49,28 @@ pub fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
     .unwrap_or_else(|| default.to_vec())
 }
 
+/// Parse an optional CLI argument into a positive count, falling back to
+/// `default`. Shared by the `exp_*` binaries for `[samples]`/`[threads]`.
+pub fn parse_count(arg: Option<String>, default: usize) -> usize {
+    let n = arg
+        .map(|s| s.parse().expect("count is a positive integer"))
+        .unwrap_or(default);
+    assert!(n >= 1, "count must be at least 1");
+    n
+}
+
+/// Worker threads for batched `Pal` evaluation in the experiment drivers:
+/// the `AUDIT_THREADS` environment variable when set (and ≥ 1), else 1.
+/// Binaries that expose a `[threads]` CLI argument let it take precedence.
+/// Thread count never changes results — only wall-clock time.
+pub fn default_threads() -> usize {
+    std::env::var("AUDIT_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +87,17 @@ mod tests {
         assert_eq!(f2.first(), Some(&10.0));
         assert_eq!(f2.last(), Some(&250.0));
         assert_eq!(f2.len(), 13);
+    }
+
+    #[test]
+    fn parse_count_prefers_argument() {
+        assert_eq!(parse_count(Some("7".into()), 3), 7);
+        assert_eq!(parse_count(None, 3), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn parse_count_rejects_zero() {
+        parse_count(Some("0".into()), 1);
     }
 }

@@ -47,6 +47,10 @@ pub struct SweepConfig {
     pub random_threshold_repeats: usize,
     /// Merge identical actions before solving (harmless, much faster).
     pub dedup_actions: bool,
+    /// Worker threads for batched `Pal` evaluation inside each solve
+    /// (orthogonal to the per-budget thread fan-out; results are
+    /// thread-count invariant).
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +62,7 @@ impl Default for SweepConfig {
             random_order_samples: 2000,
             random_threshold_repeats: 100,
             dedup_actions: true,
+            threads: 1,
         }
     }
 }
@@ -137,6 +142,10 @@ fn one_budget(
     let bank = spec.sample_bank(config.n_samples, config.seed);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
 
+    let cggs_config = CggsConfig {
+        threads: config.threads,
+        ..Default::default()
+    };
     let mut proposed = Vec::with_capacity(config.epsilons.len());
     let mut reference_thresholds: Option<Vec<f64>> = None;
     for &eps in &config.epsilons {
@@ -144,7 +153,7 @@ fn one_budget(
             epsilon: eps,
             ..Default::default()
         });
-        let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
+        let mut eval = CggsEvaluator::new(&spec, est, cggs_config.clone());
         let out = ishm.solve(&spec, &mut eval)?;
         if reference_thresholds.is_none() {
             reference_thresholds = Some(out.thresholds.clone());
@@ -155,7 +164,7 @@ fn one_budget(
     let random_thresholds = random_thresholds_loss(
         &spec,
         &est,
-        &Cggs::new(CggsConfig::default()),
+        &Cggs::new(cggs_config),
         config.random_threshold_repeats,
         config.seed ^ 0xA11E,
     )?;

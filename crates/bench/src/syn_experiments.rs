@@ -1,9 +1,9 @@
 //! Syn A experiment runners (paper Section IV, Tables III–VII).
 
-use audit_game::brute_force::{solve_brute_force, threshold_space_size, BruteForceResult};
+use audit_game::brute_force::{solve_brute_force_with, threshold_space_size, BruteForceResult};
 use audit_game::cggs::CggsConfig;
 use audit_game::datasets::syn_a_with_budget;
-use audit_game::detection::{DetectionEstimator, DetectionModel};
+use audit_game::detection::{DetectionEstimator, DetectionModel, PalEngine};
 use audit_game::error::GameError;
 use audit_game::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig};
 use audit_game::ordering::AuditOrder;
@@ -44,16 +44,20 @@ pub struct GridCell {
 }
 
 /// Compute the Table III row for one budget by exhaustive search.
+/// `threads` sets the batch workers of the detection engine (results are
+/// thread-count invariant).
 pub fn optimal_for_budget(
     budget: f64,
     n_samples: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<OptimalRow, GameError> {
     let spec = syn_a_with_budget(budget);
     let bank = spec.sample_bank(n_samples, seed);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
     let orders = AuditOrder::enumerate_all(spec.n_types());
-    let bf: BruteForceResult = solve_brute_force(&spec, &est, &orders)?;
+    let engine = PalEngine::uncached(est, threads);
+    let bf: BruteForceResult = solve_brute_force_with(&spec, &engine, &orders)?;
     // Keep only the support of the mixed strategy for reporting.
     let mut orders_kept = Vec::new();
     let mut probs_kept = Vec::new();
@@ -75,8 +79,15 @@ pub fn optimal_for_budget(
 }
 
 /// Compute Table III over a budget grid, one thread per budget.
-pub fn table3(budgets: &[f64], n_samples: usize, seed: u64) -> Result<Vec<OptimalRow>, GameError> {
-    parallel_map(budgets, |&b| optimal_for_budget(b, n_samples, seed))
+pub fn table3(
+    budgets: &[f64],
+    n_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<OptimalRow>, GameError> {
+    parallel_map(budgets, |&b| {
+        optimal_for_budget(b, n_samples, seed, threads)
+    })
 }
 
 /// Run ISHM at one `(B, ε)` grid point. `use_cggs` selects the Table V
@@ -87,6 +98,7 @@ pub fn ishm_cell(
     use_cggs: bool,
     n_samples: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<GridCell, GameError> {
     let spec = syn_a_with_budget(budget);
     let bank = spec.sample_bank(n_samples, seed);
@@ -96,10 +108,17 @@ pub fn ishm_cell(
         ..Default::default()
     });
     let outcome = if use_cggs {
-        let mut eval = CggsEvaluator::new(&spec, est, CggsConfig::default());
+        let mut eval = CggsEvaluator::new(
+            &spec,
+            est,
+            CggsConfig {
+                threads,
+                ..Default::default()
+            },
+        );
         ishm.solve(&spec, &mut eval)?
     } else {
-        let mut eval = ExactEvaluator::new(&spec, est);
+        let mut eval = ExactEvaluator::with_threads(&spec, est, threads);
         ishm.solve(&spec, &mut eval)?
     };
     Ok(GridCell {
@@ -119,11 +138,12 @@ pub fn ishm_grid(
     use_cggs: bool,
     n_samples: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<Vec<Vec<GridCell>>, GameError> {
     parallel_map(budgets, |&b| {
         epsilons
             .iter()
-            .map(|&e| ishm_cell(b, e, use_cggs, n_samples, seed))
+            .map(|&e| ishm_cell(b, e, use_cggs, n_samples, seed, threads))
             .collect::<Result<Vec<_>, _>>()
     })
 }
@@ -184,7 +204,7 @@ mod tests {
     fn optimal_row_matches_paper_magnitude_at_b2() {
         // Table III row 1: optimum 12.2945 with thresholds [1,1,1,1]. Our
         // Monte-Carlo estimate differs in the decimals but must land close.
-        let row = optimal_for_budget(2.0, 300, 7).unwrap();
+        let row = optimal_for_budget(2.0, 300, 7, 2).unwrap();
         assert!(
             (row.value - 12.29).abs() < 0.6,
             "B=2 optimum {} far from paper's 12.2945",
@@ -195,15 +215,15 @@ mod tests {
 
     #[test]
     fn optimal_values_decrease_with_budget() {
-        let rows = table3(&[2.0, 6.0, 12.0], 150, 7).unwrap();
+        let rows = table3(&[2.0, 6.0, 12.0], 150, 7, 1).unwrap();
         assert!(rows[0].value > rows[1].value);
         assert!(rows[1].value > rows[2].value);
     }
 
     #[test]
     fn ishm_cell_close_to_optimal_at_fine_epsilon() {
-        let opt = optimal_for_budget(6.0, 150, 7).unwrap();
-        let cell = ishm_cell(6.0, 0.1, false, 150, 7).unwrap();
+        let opt = optimal_for_budget(6.0, 150, 7, 1).unwrap();
+        let cell = ishm_cell(6.0, 0.1, false, 150, 7, 1).unwrap();
         let gap = (cell.value - opt.value).abs() / opt.value.abs();
         assert!(
             gap < 0.05,

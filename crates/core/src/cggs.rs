@@ -19,7 +19,7 @@
 //! *marginal* detection mass of the appended type — and a type's `Pal`
 //! depends only on its predecessors, making the extension incremental.
 
-use crate::detection::DetectionEstimator;
+use crate::detection::{DetectionEstimator, PalEngine, PalQuery};
 use crate::error::GameError;
 use crate::master::{MasterSolution, MasterSolver};
 use crate::model::GameSpec;
@@ -51,6 +51,9 @@ pub struct CggsConfig {
     pub oracle: OracleKind,
     /// Organizational constraints restricting the feasible order set `O`.
     pub precedence: PrecedenceConstraints,
+    /// Worker threads for batched `Pal` evaluation (results are identical
+    /// at every thread count; see [`PalEngine`]).
+    pub threads: usize,
 }
 
 impl Default for CggsConfig {
@@ -60,6 +63,7 @@ impl Default for CggsConfig {
             tol: 1e-7,
             oracle: OracleKind::Greedy,
             precedence: PrecedenceConstraints::none(),
+            threads: 1,
         }
     }
 }
@@ -92,10 +96,28 @@ impl Cggs {
     }
 
     /// Run CGGS for a fixed threshold vector.
+    ///
+    /// Builds a fresh [`PalEngine`] with `config.threads` workers for this
+    /// one solve; callers that re-solve over the same sample bank *and*
+    /// revisit threshold vectors (ISHM does both) should hold an engine
+    /// and use [`Cggs::solve_with_engine`] so `Pal` estimates carry over.
     pub fn solve(
         &self,
         spec: &GameSpec,
         est: &DetectionEstimator<'_>,
+        thresholds: &[f64],
+    ) -> Result<CggsOutcome, GameError> {
+        let engine = PalEngine::new(*est, self.config.threads);
+        self.solve_with_engine(spec, &engine, thresholds)
+    }
+
+    /// Run CGGS against a caller-owned engine (Algorithm 1). All `Pal`
+    /// evaluations — matrix columns, greedy trials, candidate scoring — go
+    /// through the engine's batch path and its cache.
+    pub fn solve_with_engine(
+        &self,
+        spec: &GameSpec,
+        engine: &PalEngine<'_>,
         thresholds: &[f64],
     ) -> Result<CggsOutcome, GameError> {
         spec.validate()?;
@@ -104,7 +126,7 @@ impl Cggs {
 
         // Seed Q with one feasible pure strategy (Algorithm 1 input).
         let initial = self.initial_order(n)?;
-        let mut matrix = PayoffMatrix::build(spec, est, vec![initial], thresholds);
+        let mut matrix = PayoffMatrix::build_with_engine(spec, engine, vec![initial], thresholds);
         let mut iterations = 0usize;
         let mut converged = false;
 
@@ -113,19 +135,22 @@ impl Cggs {
             iterations += 1;
 
             let candidate = match self.config.oracle {
-                OracleKind::Greedy => self.greedy_column(spec, est, thresholds, &master.y_actions),
+                OracleKind::Greedy => {
+                    self.greedy_column(spec, engine, thresholds, &master.y_actions)
+                }
                 OracleKind::Exhaustive => {
-                    self.exhaustive_column(spec, est, thresholds, &master.y_actions)
+                    self.exhaustive_column(spec, engine, thresholds, &master.y_actions)
                 }
             };
 
             // Reduced cost: f(o') − μ. Negative ⇒ the new column lets the
             // auditor push the value below the current μ.
-            let f = self.column_score(spec, est, thresholds, &candidate, &master.y_actions);
+            let pal = engine.pal(&candidate, thresholds);
+            let f = score_from_pal(spec, &pal, &master.y_actions);
             let improving = f < master.value - self.config.tol;
             let fresh = !matrix.orders.contains(&candidate);
             if improving && fresh {
-                matrix.push_order(spec, est, candidate, thresholds);
+                matrix.push_order_with_engine(spec, engine, candidate, thresholds);
             } else {
                 converged = true;
                 return Ok(CggsOutcome {
@@ -167,30 +192,6 @@ impl Cggs {
         AuditOrder::new(order)
     }
 
-    /// `f(o) = Σ_ev y_ev·U_a(o,b,⟨e,v⟩)` — the attacker mixture's payoff if
-    /// the auditor played the pure order `o`.
-    fn column_score(
-        &self,
-        spec: &GameSpec,
-        est: &DetectionEstimator<'_>,
-        thresholds: &[f64],
-        order: &AuditOrder,
-        y: &[f64],
-    ) -> f64 {
-        let pal = est.pal(order, thresholds);
-        let mut f = 0.0;
-        let mut i = 0usize;
-        for att in &spec.attackers {
-            for act in &att.actions {
-                if y[i] != 0.0 {
-                    f += y[i] * action_utility(act, &pal);
-                }
-                i += 1;
-            }
-        }
-        f
-    }
-
     /// Per-type detection weights `w_t = Σ_ev y_ev·(M+R)_ev·P^t_ev`.
     fn detection_weights(&self, spec: &GameSpec, y: &[f64]) -> Vec<f64> {
         let mut w = vec![0.0; spec.n_types()];
@@ -210,11 +211,13 @@ impl Cggs {
     }
 
     /// Greedy pricing oracle (Algorithm 1, lines 4–7): repeatedly append the
-    /// feasible type maximizing the marginal weighted detection mass.
+    /// feasible type maximizing the marginal weighted detection mass. Each
+    /// greedy step evaluates *all* candidate extensions in one batch — one
+    /// engine call per appended position instead of one per trial.
     fn greedy_column(
         &self,
         spec: &GameSpec,
-        est: &DetectionEstimator<'_>,
+        engine: &PalEngine<'_>,
         thresholds: &[f64],
         y: &[f64],
     ) -> AuditOrder {
@@ -222,17 +225,25 @@ impl Cggs {
         let w = self.detection_weights(spec, y);
         let mut prefix: Vec<usize> = Vec::with_capacity(n);
         let mut placed = vec![false; n];
-        let mut trial = Vec::with_capacity(n);
         for _ in 0..n {
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&t| !placed[t] && self.config.precedence.can_place_next(t, &placed))
+                .collect();
+            let queries: Vec<PalQuery> = candidates
+                .iter()
+                .map(|&t| {
+                    let mut trial = Vec::with_capacity(prefix.len() + 1);
+                    trial.extend_from_slice(&prefix);
+                    trial.push(t);
+                    PalQuery {
+                        seq: trial,
+                        thresholds: thresholds.to_vec(),
+                    }
+                })
+                .collect();
+            let pals = engine.pal_batch(&queries);
             let mut best: Option<(usize, f64)> = None;
-            for t in 0..n {
-                if placed[t] || !self.config.precedence.can_place_next(t, &placed) {
-                    continue;
-                }
-                trial.clear();
-                trial.extend_from_slice(&prefix);
-                trial.push(t);
-                let pal = est.pal_prefix(&trial, thresholds);
+            for (&t, pal) in candidates.iter().zip(&pals) {
                 let gain = w[t] * pal[t];
                 if best.map(|(_, g)| gain > g + 1e-15).unwrap_or(true) {
                     best = Some((t, gain));
@@ -245,11 +256,12 @@ impl Cggs {
         AuditOrder::new(prefix).expect("greedy construction yields a permutation")
     }
 
-    /// Exhaustive pricing oracle: globally minimize `f(o)`.
+    /// Exhaustive pricing oracle: globally minimize `f(o)`, with every
+    /// feasible order's `Pal` evaluated in one batch.
     fn exhaustive_column(
         &self,
         spec: &GameSpec,
-        est: &DetectionEstimator<'_>,
+        engine: &PalEngine<'_>,
         thresholds: &[f64],
         y: &[f64],
     ) -> AuditOrder {
@@ -258,15 +270,34 @@ impl Cggs {
         } else {
             AuditOrder::enumerate_feasible(spec.n_types(), &self.config.precedence)
         };
+        let queries: Vec<PalQuery> = all.iter().map(|o| PalQuery::full(o, thresholds)).collect();
+        let pals = engine.pal_batch(&queries);
         all.into_iter()
-            .map(|o| {
-                let f = self.column_score(spec, est, thresholds, &o, y);
+            .zip(pals)
+            .map(|(o, pal)| {
+                let f = score_from_pal(spec, &pal, y);
                 (o, f)
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
             .map(|(o, _)| o)
             .expect("at least one feasible order")
     }
+}
+
+/// `f(o) = Σ_ev y_ev·U_a(o,b,⟨e,v⟩)` — the attacker mixture's payoff if the
+/// auditor played the pure order whose detection vector is `pal`.
+fn score_from_pal(spec: &GameSpec, pal: &[f64], y: &[f64]) -> f64 {
+    let mut f = 0.0;
+    let mut i = 0usize;
+    for att in &spec.attackers {
+        for act in &att.actions {
+            if y[i] != 0.0 {
+                f += y[i] * action_utility(act, pal);
+            }
+            i += 1;
+        }
+    }
+    f
 }
 
 #[cfg(test)]
@@ -361,8 +392,29 @@ mod tests {
         let cggs = Cggs::default();
         // All mass on attacker 2 (type 2): greedy must front-load type 2.
         let y = vec![0.0, 0.0, 1.0];
-        let o = cggs.greedy_column(&spec, &est, &[1.0, 1.0, 1.0], &y);
+        let engine = PalEngine::new(est, 1);
+        let o = cggs.greedy_column(&spec, &engine, &[1.0, 1.0, 1.0], &y);
         assert_eq!(o.types()[0], 2);
+    }
+
+    #[test]
+    fn engine_solve_is_thread_count_invariant() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(64, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.0, 1.0, 1.0];
+        let baseline = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
+        for threads in [2usize, 4] {
+            let cggs = Cggs::new(CggsConfig {
+                threads,
+                ..Default::default()
+            });
+            let out = cggs.solve(&spec, &est, &thresholds).unwrap();
+            assert_eq!(out.master.value, baseline.master.value);
+            assert_eq!(out.orders, baseline.orders);
+            assert_eq!(out.iterations, baseline.iterations);
+            assert_eq!(out.master.p_orders, baseline.master.p_orders);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the per-type thresholds and the remaining global budget. This is the
 //! piece a deploying organization actually runs every audit period.
 
+use crate::detection::{PalEngine, PalQuery};
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;
 use rand::seq::SliceRandom;
@@ -70,6 +71,33 @@ impl AuditPolicy {
             .zip(spec.audit_costs())
             .map(|(&b, c)| (b / c).floor().max(0.0) as u64)
             .collect()
+    }
+
+    /// Predicted per-type detection probabilities of each support order
+    /// under this policy's thresholds, evaluated in one engine batch
+    /// (aligned with `self.orders`).
+    pub fn predicted_pal(&self, engine: &PalEngine<'_>) -> Vec<Vec<f64>> {
+        let queries: Vec<PalQuery> = self
+            .orders
+            .iter()
+            .map(|o| PalQuery::full(o, &self.thresholds))
+            .collect();
+        engine.pal_batch(&queries)
+    }
+
+    /// Mixture-weighted detection probability per type: what a type-`t`
+    /// attack alert faces in expectation over the order draw. The
+    /// operational headline number a deploying organization reads off a
+    /// solved policy.
+    pub fn expected_pal(&self, engine: &PalEngine<'_>) -> Vec<f64> {
+        let pals = self.predicted_pal(engine);
+        let mut out = vec![0.0f64; self.n_types()];
+        for (pal, &p) in pals.iter().zip(&self.probs) {
+            for (o, &v) in out.iter_mut().zip(pal) {
+                *o += p * v;
+            }
+        }
+        out
     }
 }
 
@@ -305,5 +333,30 @@ mod tests {
         let s = spec(10.0);
         let policy = AuditPolicy::pure(vec![3.0, 5.0], AuditOrder::identity(2));
         assert_eq!(policy.capacity(&s), vec![3, 2]);
+    }
+
+    #[test]
+    fn expected_pal_mixes_per_order_predictions() {
+        use crate::detection::{DetectionEstimator, DetectionModel};
+        let s = spec(3.0);
+        let bank = s.sample_bank(16, 0);
+        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
+        let engine = PalEngine::new(est, 2);
+        let policy = AuditPolicy::new(
+            vec![3.0, 4.0],
+            vec![
+                AuditOrder::identity(2),
+                AuditOrder::new(vec![1, 0]).unwrap(),
+            ],
+            vec![0.25, 0.75],
+        );
+        let per_order = policy.predicted_pal(&engine);
+        assert_eq!(per_order[0], est.pal(&policy.orders[0], &policy.thresholds));
+        assert_eq!(per_order[1], est.pal(&policy.orders[1], &policy.thresholds));
+        let mixed = policy.expected_pal(&engine);
+        for t in 0..2 {
+            let want = 0.25 * per_order[0][t] + 0.75 * per_order[1][t];
+            assert!((mixed[t] - want).abs() < 1e-15);
+        }
     }
 }

@@ -18,13 +18,20 @@
 //! Tables IV and V.
 
 use crate::cggs::{Cggs, CggsConfig};
-use crate::detection::DetectionEstimator;
+use crate::detection::{DetectionEstimator, PalEngine};
 use crate::error::GameError;
 use crate::master::{MasterSolution, MasterSolver};
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;
 use crate::payoff::PayoffMatrix;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memo key for a threshold vector: exact bit patterns (see the cache-key
+/// discussion on [`PalEngine`] for why bitwise is the right granularity).
+fn threshold_key(thresholds: &[f64]) -> Vec<u64> {
+    thresholds.iter().map(|b| b.to_bits()).collect()
+}
 
 /// All `k`-element subsets of `0..n` in lexicographic order (the `choose`
 /// of Algorithm 2, line 4).
@@ -74,17 +81,30 @@ pub trait ThresholdEvaluator {
 
 /// Inner evaluator that materializes **all** feasible orderings — exact but
 /// exponential in `|T|` (paper Table IV path).
+///
+/// Holds a [`PalEngine`] for the whole ISHM run, so `Pal` estimates are
+/// shared across every candidate threshold vector the search revisits, and
+/// an objective memo keyed by threshold bits, so revisited candidates skip
+/// the master LP entirely. (ISHM revisits a lot: different shrink ratios
+/// floor onto the same lattice point, and each accepted improvement
+/// restarts the level-1 sweep.)
 pub struct ExactEvaluator<'a> {
     spec: &'a GameSpec,
-    est: DetectionEstimator<'a>,
+    engine: PalEngine<'a>,
     orders: Vec<AuditOrder>,
+    values: HashMap<Vec<u64>, f64>,
 }
 
 impl<'a> ExactEvaluator<'a> {
-    /// Build with the full order set.
+    /// Build with the full order set and a single-threaded engine.
     pub fn new(spec: &'a GameSpec, est: DetectionEstimator<'a>) -> Self {
+        Self::with_threads(spec, est, 1)
+    }
+
+    /// Build with the full order set and `threads` batch workers.
+    pub fn with_threads(spec: &'a GameSpec, est: DetectionEstimator<'a>, threads: usize) -> Self {
         let orders = AuditOrder::enumerate_all(spec.n_types());
-        Self { spec, est, orders }
+        Self::from_engine(spec, PalEngine::new(est, threads), orders)
     }
 
     /// Build with an explicit (e.g. precedence-filtered) order set.
@@ -93,59 +113,107 @@ impl<'a> ExactEvaluator<'a> {
         est: DetectionEstimator<'a>,
         orders: Vec<AuditOrder>,
     ) -> Self {
+        Self::from_engine(spec, PalEngine::new(est, 1), orders)
+    }
+
+    /// Build from a caller-configured engine (benchmarks use this to
+    /// compare cached against uncached evaluation).
+    pub fn from_engine(spec: &'a GameSpec, engine: PalEngine<'a>, orders: Vec<AuditOrder>) -> Self {
         assert!(!orders.is_empty(), "order set must be non-empty");
-        Self { spec, est, orders }
+        Self {
+            spec,
+            engine,
+            orders,
+            values: HashMap::new(),
+        }
+    }
+
+    /// The engine backing this evaluator.
+    pub fn engine(&self) -> &PalEngine<'a> {
+        &self.engine
     }
 }
 
 impl ThresholdEvaluator for ExactEvaluator<'_> {
     fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
-        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
-        Ok(MasterSolver::solve(self.spec, &m)?.value)
+        if let Some(&v) = self.values.get(&threshold_key(thresholds)) {
+            return Ok(v);
+        }
+        let m = PayoffMatrix::build_with_engine(
+            self.spec,
+            &self.engine,
+            self.orders.clone(),
+            thresholds,
+        );
+        let v = MasterSolver::solve(self.spec, &m)?.value;
+        self.values.insert(threshold_key(thresholds), v);
+        Ok(v)
     }
 
     fn solve_full(
         &mut self,
         thresholds: &[f64],
     ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError> {
-        let m = PayoffMatrix::build(self.spec, &self.est, self.orders.clone(), thresholds);
+        let m = PayoffMatrix::build_with_engine(
+            self.spec,
+            &self.engine,
+            self.orders.clone(),
+            thresholds,
+        );
         let sol = MasterSolver::solve(self.spec, &m)?;
         Ok((sol, m.orders))
     }
 }
 
 /// Inner evaluator backed by CGGS column generation (paper Table V path).
+/// Owns one [`PalEngine`] (with `config.threads` workers) for the whole
+/// run, plus the same objective memo as [`ExactEvaluator`].
 pub struct CggsEvaluator<'a> {
     spec: &'a GameSpec,
-    est: DetectionEstimator<'a>,
+    engine: PalEngine<'a>,
     cggs: Cggs,
+    values: HashMap<Vec<u64>, f64>,
 }
 
 impl<'a> CggsEvaluator<'a> {
     /// Build with a CGGS configuration.
     pub fn new(spec: &'a GameSpec, est: DetectionEstimator<'a>, config: CggsConfig) -> Self {
+        let engine = PalEngine::new(est, config.threads);
         Self {
             spec,
-            est,
+            engine,
             cggs: Cggs::new(config),
+            values: HashMap::new(),
         }
+    }
+
+    /// The engine backing this evaluator.
+    pub fn engine(&self) -> &PalEngine<'a> {
+        &self.engine
     }
 }
 
 impl ThresholdEvaluator for CggsEvaluator<'_> {
     fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
-        Ok(self
+        if let Some(&v) = self.values.get(&threshold_key(thresholds)) {
+            return Ok(v);
+        }
+        let v = self
             .cggs
-            .solve(self.spec, &self.est, thresholds)?
+            .solve_with_engine(self.spec, &self.engine, thresholds)?
             .master
-            .value)
+            .value;
+        self.values.insert(threshold_key(thresholds), v);
+        Ok(v)
     }
 
     fn solve_full(
         &mut self,
         thresholds: &[f64],
     ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError> {
-        let out = self.cggs.solve(self.spec, &self.est, thresholds)?;
+        let out = self
+            .cggs
+            .solve_with_engine(self.spec, &self.engine, thresholds)?;
         Ok((out.master, out.orders))
     }
 }

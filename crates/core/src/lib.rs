@@ -30,7 +30,9 @@
 //!   attacker/victim payoff structure;
 //! * [`ordering`] — audit orders, enumeration, precedence constraints;
 //! * [`detection`] — the recourse budget math `B_t(o,b,Z)`, `n_t(o,b,Z)`
-//!   and Monte-Carlo estimation of `Pal(o,b,t)` (paper eq. 1);
+//!   and Monte-Carlo estimation of `Pal(o,b,t)` (paper eq. 1), both as a
+//!   scalar reference and as the batched/parallel/memoizing
+//!   [`detection::PalEngine`] all solvers run on;
 //! * [`payoff`] — attacker utilities `U_a` (paper eq. 3) and payoff
 //!   matrices;
 //! * [`master`] — the zero-sum master LP (paper eq. 5) solved in its
@@ -88,7 +90,9 @@ pub mod prelude {
         greedy_by_benefit_loss, random_orders_loss, random_thresholds_loss,
     };
     pub use crate::cggs::{Cggs, CggsConfig, CggsOutcome};
-    pub use crate::detection::{DetectionEstimator, DetectionModel};
+    pub use crate::detection::{
+        CacheStats, DetectionEstimator, DetectionModel, PalEngine, PalQuery,
+    };
     pub use crate::error::GameError;
     pub use crate::execute::{AuditPolicy, AuditRun};
     pub use crate::ishm::{Ishm, IshmConfig, IshmOutcome};

@@ -1,7 +1,7 @@
 //! Attacker utilities (paper eq. 2–3) and payoff matrices over sets of
 //! audit orders.
 
-use crate::detection::DetectionEstimator;
+use crate::detection::{DetectionEstimator, PalEngine, PalQuery};
 use crate::model::{AttackAction, GameSpec};
 use crate::ordering::AuditOrder;
 
@@ -78,6 +78,19 @@ pub struct PayoffMatrix {
     pub index: ActionIndex,
 }
 
+/// One payoff-matrix column: every flat action's utility against the
+/// detection vector `pal`. All matrix-construction paths share this so the
+/// scalar and engine-built matrices can never drift apart.
+fn utility_column(spec: &GameSpec, pal: &[f64]) -> Vec<f64> {
+    let mut col = Vec::with_capacity(spec.n_actions());
+    for att in &spec.attackers {
+        for act in &att.actions {
+            col.push(action_utility(act, pal));
+        }
+    }
+    col
+}
+
 impl PayoffMatrix {
     /// Evaluate the payoff matrix for `orders` under fixed thresholds.
     pub fn build(
@@ -91,13 +104,7 @@ impl PayoffMatrix {
         let mut values = Vec::with_capacity(orders.len());
         for order in &orders {
             let pal = est.pal(order, thresholds);
-            let mut col = Vec::with_capacity(index.n_actions());
-            for att in &spec.attackers {
-                for act in &att.actions {
-                    col.push(action_utility(act, &pal));
-                }
-            }
-            values.push(col);
+            values.push(utility_column(spec, &pal));
             pals.push(pal);
         }
         Self {
@@ -106,6 +113,47 @@ impl PayoffMatrix {
             values,
             index,
         }
+    }
+
+    /// As [`PayoffMatrix::build`], but through the batched engine: every
+    /// order's `Pal` vector is evaluated (or recalled) in a single
+    /// [`PalEngine::pal_batch`] call, so the columns share one bank pass
+    /// and are split across the engine's workers. Results are identical to
+    /// the scalar path.
+    pub fn build_with_engine(
+        spec: &GameSpec,
+        engine: &PalEngine<'_>,
+        orders: Vec<AuditOrder>,
+        thresholds: &[f64],
+    ) -> Self {
+        let index = ActionIndex::new(spec);
+        let queries: Vec<PalQuery> = orders
+            .iter()
+            .map(|o| PalQuery::full(o, thresholds))
+            .collect();
+        let pals = engine.pal_batch(&queries);
+        let values = pals.iter().map(|pal| utility_column(spec, pal)).collect();
+        Self {
+            orders,
+            pals,
+            values,
+            index,
+        }
+    }
+
+    /// As [`PayoffMatrix::push_order`], but routed through the engine so
+    /// column generation reuses cached `Pal` estimates.
+    pub fn push_order_with_engine(
+        &mut self,
+        spec: &GameSpec,
+        engine: &PalEngine<'_>,
+        order: AuditOrder,
+        thresholds: &[f64],
+    ) {
+        let pal = engine.pal(&order, thresholds);
+        self.orders.push(order);
+        self.values.push(utility_column(spec, &pal));
+        self.pals.push(pal);
     }
 
     /// Append one more order column (used by column generation).
@@ -117,14 +165,8 @@ impl PayoffMatrix {
         thresholds: &[f64],
     ) {
         let pal = est.pal(&order, thresholds);
-        let mut col = Vec::with_capacity(self.index.n_actions());
-        for att in &spec.attackers {
-            for act in &att.actions {
-                col.push(action_utility(act, &pal));
-            }
-        }
         self.orders.push(order);
-        self.values.push(col);
+        self.values.push(utility_column(spec, &pal));
         self.pals.push(pal);
     }
 
@@ -304,6 +346,24 @@ mod tests {
         let lmix = m.loss_under_mixture(&s, &[0.5, 0.5]);
         // Best responses make loss convex in p: mixture ≤ interpolation.
         assert!(lmix <= 0.5 * (l0 + l1) + 1e-12);
+    }
+
+    #[test]
+    fn engine_build_matches_scalar_build() {
+        let s = spec();
+        let bank = s.sample_bank(32, 7);
+        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
+        let orders = AuditOrder::enumerate_all(2);
+        let scalar = PayoffMatrix::build(&s, &est, orders.clone(), &[1.0, 1.0]);
+        for threads in [1, 3] {
+            let engine = PalEngine::new(est, threads);
+            let mut batched =
+                PayoffMatrix::build_with_engine(&s, &engine, vec![orders[0].clone()], &[1.0, 1.0]);
+            batched.push_order_with_engine(&s, &engine, orders[1].clone(), &[1.0, 1.0]);
+            assert_eq!(scalar.pals, batched.pals);
+            assert_eq!(scalar.values, batched.values);
+            assert_eq!(scalar.orders, batched.orders);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! loss is the strongest end-to-end correctness check the library has
 //! (see `tests/simulation_validation.rs`).
 
-use crate::detection::DetectionEstimator;
+use crate::detection::{DetectionEstimator, PalEngine};
 use crate::execute::{execute_policy, AuditPolicy, RealizedAlert};
 use crate::model::GameSpec;
 use crate::payoff::PayoffMatrix;
@@ -65,7 +65,11 @@ pub fn simulate_policy(
     seed: u64,
 ) -> SimulationReport {
     assert!(n_periods > 0, "need at least one period");
-    let matrix = PayoffMatrix::build(spec, est, policy.orders.clone(), &policy.thresholds);
+    // One-shot matrix build: batch the policy's support orders through an
+    // uncached engine (identical results to the scalar path).
+    let engine = PalEngine::uncached(*est, 1);
+    let matrix =
+        PayoffMatrix::build_with_engine(spec, &engine, policy.orders.clone(), &policy.thresholds);
     let responses = matrix.best_responses(spec, &policy.probs);
 
     let mut rng = stream_rng(seed, 0x51D);

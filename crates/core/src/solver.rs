@@ -38,6 +38,9 @@ pub struct SolverConfig {
     pub detection: DetectionModel,
     /// Merge strategically identical attack actions before solving.
     pub dedup_actions: bool,
+    /// Worker threads for batched `Pal` evaluation. Results are identical
+    /// at every thread count (see [`crate::detection::PalEngine`]).
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -49,6 +52,7 @@ impl Default for SolverConfig {
             inner: InnerKind::Auto,
             detection: DetectionModel::PaperApprox,
             dedup_actions: true,
+            threads: 1,
         }
     }
 }
@@ -106,10 +110,17 @@ impl OapSolver {
             InnerKind::Auto => working.n_types() <= 5,
         };
         let outcome: IshmOutcome = if use_exact {
-            let mut eval = ExactEvaluator::new(&working, est);
+            let mut eval = ExactEvaluator::with_threads(&working, est, self.config.threads);
             ishm.solve(&working, &mut eval)?
         } else {
-            let mut eval = CggsEvaluator::new(&working, est, CggsConfig::default());
+            let mut eval = CggsEvaluator::new(
+                &working,
+                est,
+                CggsConfig {
+                    threads: self.config.threads,
+                    ..Default::default()
+                },
+            );
             ishm.solve(&working, &mut eval)?
         };
 
@@ -201,6 +212,28 @@ mod tests {
             with.loss,
             without.loss
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_solution() {
+        let spec = random_game(&RandomGameConfig::default(), 17);
+        let base = SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        let solo = OapSolver::new(base.clone()).solve(&spec).unwrap();
+        for threads in [2usize, 4] {
+            let multi = OapSolver::new(SolverConfig {
+                threads,
+                ..base.clone()
+            })
+            .solve(&spec)
+            .unwrap();
+            assert_eq!(solo.loss, multi.loss, "threads {threads}");
+            assert_eq!(solo.policy.thresholds, multi.policy.thresholds);
+            assert_eq!(solo.policy.probs, multi.policy.probs);
+        }
     }
 
     #[test]

@@ -18,12 +18,61 @@ use crate::rng::stream_rng;
 /// Row `s` is one realization of the benign workload: `row(s)[t]` is the
 /// number of benign type-`t` alerts in sample `s`. Types are sampled
 /// independently, matching the paper's per-type `F_t` model.
+///
+/// The matrix is stored in **both** orientations: row-major for per-sample
+/// walks (one realization at a time) and column-major for per-type walks
+/// ([`SampleBank::column`]), which is what the batched `Pal` engine streams
+/// — for a fixed type in the audit order it touches one contiguous column
+/// instead of striding through every row. The duplication costs
+/// `8·|T|·S` bytes (a few hundred KB at experiment scale) and buys the
+/// dominant hot loop sequential memory access.
 #[derive(Debug, Clone)]
 pub struct SampleBank {
     n_types: usize,
     n_samples: usize,
     /// Row-major `n_samples × n_types`.
     data: Vec<u64>,
+    /// Column-major `n_types × n_samples` mirror of `data`.
+    cols: Vec<u64>,
+}
+
+/// A contiguous block of bank rows (samples `start..start + len`).
+///
+/// Produced by [`SampleBank::par_chunks`]. Chunk boundaries depend only on
+/// the bank shape and the requested chunk size — never on how many workers
+/// consume them — so any reduction that combines per-chunk partials *in
+/// chunk order* is deterministic and independent of thread count. (Note
+/// that the batched `Pal` engine does not row-parallelize: it splits work
+/// by policy to stay bit-identical to the scalar path. This iterator is
+/// the seam for future reductions that accept chunk-ordered summation.)
+#[derive(Debug, Clone, Copy)]
+pub struct BankChunk<'a> {
+    /// Row-major slice `len × n_types`.
+    rows: &'a [u64],
+    n_types: usize,
+    start: usize,
+}
+
+impl<'a> BankChunk<'a> {
+    /// Index of the first bank row in this chunk.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of rows in this chunk.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.n_types
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over the chunk's realizations in bank order.
+    pub fn rows(&self) -> impl Iterator<Item = &'a [u64]> {
+        self.rows.chunks_exact(self.n_types)
+    }
 }
 
 impl SampleBank {
@@ -51,11 +100,7 @@ impl SampleBank {
                 data[s * n_types + t] = dist.sample(&mut rng);
             }
         }
-        Self {
-            n_types,
-            n_samples,
-            data,
-        }
+        Self::from_row_major(n_types, n_samples, data)
     }
 
     /// Build from explicit rows (used by tests and the hardness reduction,
@@ -70,10 +115,23 @@ impl SampleBank {
             assert_eq!(row.len(), n_types, "ragged sample rows");
             data.extend_from_slice(row);
         }
+        Self::from_row_major(n_types, n_samples, data)
+    }
+
+    /// Build both layouts from a row-major matrix.
+    fn from_row_major(n_types: usize, n_samples: usize, data: Vec<u64>) -> Self {
+        debug_assert_eq!(data.len(), n_samples * n_types);
+        let mut cols = vec![0u64; n_samples * n_types];
+        for (s, row) in data.chunks_exact(n_types).enumerate() {
+            for (t, &z) in row.iter().enumerate() {
+                cols[t * n_samples + s] = z;
+            }
+        }
         Self {
             n_types,
             n_samples,
             data,
+            cols,
         }
     }
 
@@ -98,17 +156,43 @@ impl SampleBank {
         self.data.chunks_exact(self.n_types)
     }
 
+    /// All realizations of type `t`, contiguous in memory: `column(t)[s]`
+    /// equals `row(s)[t]`. This is the layout the batched `Pal` engine
+    /// streams type-by-type.
+    #[inline]
+    pub fn column(&self, t: usize) -> &[u64] {
+        assert!(t < self.n_types, "type index out of range");
+        &self.cols[t * self.n_samples..(t + 1) * self.n_samples]
+    }
+
+    /// Split the bank into contiguous row blocks of (at most) `chunk_rows`
+    /// rows each, suitable for handing to parallel workers.
+    ///
+    /// The boundaries depend only on `n_samples` and `chunk_rows`, so a
+    /// reduction over per-chunk partials taken in chunk order yields the
+    /// same result no matter how many threads consume the iterator.
+    pub fn par_chunks(&self, chunk_rows: usize) -> impl Iterator<Item = BankChunk<'_>> {
+        assert!(chunk_rows > 0, "chunk size must be positive");
+        let n_types = self.n_types;
+        self.data
+            .chunks(chunk_rows * n_types)
+            .enumerate()
+            .map(move |(i, rows)| BankChunk {
+                rows,
+                n_types,
+                start: i * chunk_rows,
+            })
+    }
+
     /// Sample mean count of type `t` across the bank.
     pub fn mean_count(&self, t: usize) -> f64 {
-        assert!(t < self.n_types, "type index out of range");
-        let sum: u64 = self.rows().map(|r| r[t]).sum();
+        let sum: u64 = self.column(t).iter().sum();
         sum as f64 / self.n_samples as f64
     }
 
     /// Largest observed count of type `t` in the bank.
     pub fn max_count(&self, t: usize) -> u64 {
-        assert!(t < self.n_types, "type index out of range");
-        self.rows().map(|r| r[t]).max().unwrap_or(0)
+        self.column(t).iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -180,5 +264,53 @@ mod tests {
     #[should_panic]
     fn ragged_rows_rejected() {
         SampleBank::from_rows(vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let bank = SampleBank::generate(&dists(), 137, 42);
+        for t in 0..bank.n_types() {
+            let col = bank.column(t);
+            assert_eq!(col.len(), bank.n_samples());
+            for (s, &z) in col.iter().enumerate() {
+                assert_eq!(z, bank.row(s)[t], "mismatch at ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_cover_every_row_in_order() {
+        let bank = SampleBank::generate(&dists(), 103, 8);
+        for chunk_rows in [1, 7, 50, 103, 200] {
+            let mut seen = 0usize;
+            for chunk in bank.par_chunks(chunk_rows) {
+                assert_eq!(chunk.start(), seen);
+                assert!(chunk.len() <= chunk_rows);
+                assert!(!chunk.is_empty());
+                for (i, row) in chunk.rows().enumerate() {
+                    assert_eq!(row, bank.row(seen + i));
+                }
+                seen += chunk.len();
+            }
+            assert_eq!(seen, bank.n_samples(), "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_independent_of_consumer_count() {
+        // The contract the batch engine relies on: boundaries are a pure
+        // function of (n_samples, chunk_rows).
+        let bank = SampleBank::generate(&dists(), 64, 1);
+        let a: Vec<(usize, usize)> = bank.par_chunks(10).map(|c| (c.start(), c.len())).collect();
+        let b: Vec<(usize, usize)> = bank.par_chunks(10).map(|c| (c.start(), c.len())).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.last(), Some(&(60, 4)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_size_rejected() {
+        let bank = SampleBank::from_rows(vec![vec![1]]);
+        let _ = bank.par_chunks(0).count();
     }
 }

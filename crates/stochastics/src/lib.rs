@@ -29,7 +29,7 @@ pub mod normal;
 pub mod rng;
 pub mod stats;
 
-pub use bank::SampleBank;
+pub use bank::{BankChunk, SampleBank};
 pub use discrete::{
     Constant, CountDistribution, DiscretizedGaussian, Empirical, Poisson, UniformCount,
 };

@@ -1,0 +1,141 @@
+//! Differential tests of the batched `PalEngine` against the legacy scalar
+//! `pal` path.
+//!
+//! The engine promises more than statistical agreement: because work is
+//! split by policy (never by sample row) and each policy accumulates in a
+//! fixed order through the shared per-sample kernel, its results are
+//! **bit-identical** to `DetectionEstimator::pal` / `pal_prefix` for every
+//! query, at every thread count. These tests enforce exact `==` on the
+//! returned `f64` vectors — no tolerances anywhere.
+
+use alert_audit::game::datasets::{random_game, RandomGameConfig};
+use alert_audit::game::detection::{DetectionEstimator, DetectionModel, PalEngine, PalQuery};
+use alert_audit::game::ordering::AuditOrder;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const MODELS: [DetectionModel; 3] = [
+    DetectionModel::PaperApprox,
+    DetectionModel::AttackInclusive,
+    DetectionModel::Operational,
+];
+
+fn cfg(n_types: usize, budget: f64) -> RandomGameConfig {
+    RandomGameConfig {
+        n_types,
+        n_attackers: 3,
+        n_victims: 5,
+        budget,
+        allow_opt_out: false,
+        benign_prob: 0.15,
+    }
+}
+
+/// Deterministic threshold grids for a seed: integral, fractional, zero,
+/// and oversized entries — every code path of the recourse formula.
+fn threshold_grids(n_types: usize, seed: u64) -> Vec<Vec<f64>> {
+    let base = (seed % 5) as f64;
+    vec![
+        vec![base + 1.0; n_types],
+        (0..n_types).map(|t| t as f64 * 0.5).collect(),
+        (0..n_types)
+            .map(|t| if t % 2 == 0 { 0.0 } else { 10.0 + base })
+            .collect(),
+        (0..n_types).map(|t| 1.5 + t as f64 * 0.25).collect(),
+    ]
+}
+
+/// Every policy the solvers can ask about on a small game: all full
+/// orders plus every prefix of each, for each threshold grid.
+fn all_queries(n_types: usize, seed: u64) -> Vec<PalQuery> {
+    let mut queries = Vec::new();
+    for thresholds in threshold_grids(n_types, seed) {
+        for order in AuditOrder::enumerate_all(n_types) {
+            for len in 0..=n_types {
+                queries.push(PalQuery::prefix(&order.types()[..len], &thresholds));
+            }
+        }
+    }
+    queries
+}
+
+#[test]
+fn engine_is_bit_identical_to_scalar_path_on_random_games() {
+    for seed in 0..8u64 {
+        let n_types = 2 + (seed % 3) as usize; // 2, 3, or 4 types
+        let spec = random_game(&cfg(n_types, 3.0 + seed as f64), seed);
+        let bank = spec.sample_bank(64, seed ^ 0xC0FFEE);
+        let queries = all_queries(n_types, seed);
+        for model in MODELS {
+            let est = DetectionEstimator::new(&spec, &bank, model);
+            for threads in THREAD_COUNTS {
+                let engine = PalEngine::new(est, threads);
+                let batch = engine.pal_batch(&queries);
+                for (q, got) in queries.iter().zip(&batch) {
+                    let want = est.pal_prefix(&q.seq, &q.thresholds);
+                    assert_eq!(
+                        got, &want,
+                        "seed {seed}, model {model:?}, threads {threads}, query {q:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_order_queries_match_legacy_pal_exactly() {
+    for seed in 0..6u64 {
+        let spec = random_game(&cfg(3, 4.0), seed);
+        let bank = spec.sample_bank(100, seed);
+        for model in MODELS {
+            let est = DetectionEstimator::new(&spec, &bank, model);
+            for threads in THREAD_COUNTS {
+                let engine = PalEngine::new(est, threads);
+                for order in AuditOrder::enumerate_all(3) {
+                    for thresholds in threshold_grids(3, seed) {
+                        assert_eq!(
+                            engine.pal(&order, &thresholds),
+                            est.pal(&order, &thresholds),
+                            "seed {seed}, model {model:?}, threads {threads}, order {order}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_results_are_independent_of_thread_count() {
+    let spec = random_game(&cfg(4, 6.0), 99);
+    let bank = spec.sample_bank(256, 7);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let queries = all_queries(4, 99);
+    let reference = PalEngine::new(est, 1).pal_batch(&queries);
+    for threads in [2usize, 3, 4, 8] {
+        let engine = PalEngine::new(est, threads);
+        assert_eq!(
+            engine.pal_batch(&queries),
+            reference,
+            "threads {threads} diverged"
+        );
+    }
+}
+
+#[test]
+fn cache_hits_replay_the_exact_first_answer() {
+    let spec = random_game(&cfg(3, 5.0), 11);
+    let bank = spec.sample_bank(128, 3);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let engine = PalEngine::new(est, 2);
+    let queries = all_queries(3, 11);
+    let cold = engine.pal_batch(&queries);
+    let warm = engine.pal_batch(&queries);
+    assert_eq!(cold, warm);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits as usize, queries.len());
+    assert_eq!(stats.misses as usize, queries.len());
+    // Not every query is distinct (prefixes repeat across orders), so the
+    // cache holds fewer entries than the batch had queries.
+    assert!(stats.entries < queries.len());
+}

@@ -144,6 +144,66 @@ fn tdmt_log_statistics_flow_into_game() {
 }
 
 #[test]
+fn solver_outputs_identical_across_thread_counts_and_reruns() {
+    // One fixed master seed must pin down every number the pipeline emits:
+    // the batched detection engine splits work by policy and accumulates in
+    // a fixed order, so CGGS and ISHM outputs are bitwise-identical at any
+    // thread count — and trivially across repeated runs.
+    let spec = alert_audit::game::datasets::syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(200, 20180422);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![2.0, 2.0, 2.0, 2.0];
+
+    // CGGS at fixed thresholds.
+    let cggs_ref = alert_audit::game::cggs::Cggs::default()
+        .solve(&spec, &est, &thresholds)
+        .unwrap();
+    // ISHM with the CGGS inner evaluator (the full heuristic pipeline).
+    let ishm = Ishm::new(IshmConfig {
+        epsilon: 0.2,
+        ..Default::default()
+    });
+    let mut eval_ref = CggsEvaluator::new(&spec, est, CggsConfig::default());
+    let ishm_ref = ishm.solve(&spec, &mut eval_ref).unwrap();
+
+    for threads in [1usize, 2, 4] {
+        for _rerun in 0..2 {
+            let cggs = alert_audit::game::cggs::Cggs::new(CggsConfig {
+                threads,
+                ..Default::default()
+            })
+            .solve(&spec, &est, &thresholds)
+            .unwrap();
+            assert_eq!(
+                cggs.master.value, cggs_ref.master.value,
+                "threads {threads}"
+            );
+            assert_eq!(cggs.master.p_orders, cggs_ref.master.p_orders);
+            assert_eq!(cggs.orders, cggs_ref.orders);
+            assert_eq!(cggs.iterations, cggs_ref.iterations);
+
+            let mut eval = CggsEvaluator::new(
+                &spec,
+                est,
+                CggsConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            let out = ishm.solve(&spec, &mut eval).unwrap();
+            assert_eq!(out.value, ishm_ref.value, "threads {threads}");
+            assert_eq!(out.thresholds, ishm_ref.thresholds);
+            assert_eq!(out.master.p_orders, ishm_ref.master.p_orders);
+            assert_eq!(out.orders, ishm_ref.orders);
+            assert_eq!(
+                out.stats.thresholds_explored,
+                ishm_ref.stats.thresholds_explored
+            );
+        }
+    }
+}
+
+#[test]
 fn exact_and_cggs_inner_agree_on_syn_a() {
     let spec = alert_audit::game::datasets::syn_a_with_budget(8.0);
     let bank = spec.sample_bank(300, 6);

@@ -1,8 +1,11 @@
 //! Property-based tests of game-level invariants on randomly generated
 //! instances.
 
+use alert_audit::game::brute_force::solve_brute_force;
+use alert_audit::game::cggs::Cggs;
 use alert_audit::game::datasets::{random_game, RandomGameConfig};
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
+use alert_audit::game::ishm::{CggsEvaluator, Ishm, IshmConfig};
 use alert_audit::game::master::MasterSolver;
 use alert_audit::game::ordering::AuditOrder;
 use alert_audit::game::payoff::PayoffMatrix;
@@ -117,6 +120,101 @@ proptest! {
         // The FIRST type in the order can only gain from its own threshold
         // increasing (later types may lose budget, so no global claim).
         prop_assert!(pal_hi[0] >= pal_lo[0] - 1e-9);
+    }
+
+    /// Under the paper's consumption rule, raising the budget (everything
+    /// else fixed) can only raise *every* type's detection probability:
+    /// predecessors consume `min(b_t, Z_t·C_t)` independently of `B`, so a
+    /// larger budget weakly enlarges each per-type capacity `B_t`.
+    #[test]
+    fn pal_monotone_in_budget_for_every_type(seed in 0u64..200) {
+        let mut spec = random_game(&cfg(3, false, 1.0), seed);
+        let bank = spec.sample_bank(60, seed ^ 0xB0D);
+        let order = AuditOrder::new(vec![2, 0, 1]).unwrap();
+        let thresholds = vec![2.0, 3.0, 2.5];
+        let mut prev = vec![0.0f64; 3];
+        for budget in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            spec.budget = budget;
+            let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+            let pal = est.pal(&order, &thresholds);
+            for t in 0..3 {
+                prop_assert!(
+                    pal[t] >= prev[t] - 1e-12,
+                    "type {t} lost detection when budget rose to {budget}: {} < {}",
+                    pal[t], prev[t]
+                );
+            }
+            prev = pal;
+        }
+    }
+
+    /// A type's detection probability depends only on its predecessors, so
+    /// evaluating a *prefix* must agree exactly with the full order on the
+    /// prefix types — and report zero for everything after the cut.
+    #[test]
+    fn pal_prefix_consistent_with_full_order(seed in 0u64..200, cut in 0usize..4) {
+        let spec = random_game(&cfg(3, false, 4.0), seed);
+        let bank = spec.sample_bank(60, seed ^ 0x9E);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.5, 2.0, 3.0];
+        for order in AuditOrder::enumerate_all(3) {
+            let cut = cut.min(3);
+            let full = est.pal(&order, &thresholds);
+            let prefix = est.pal_prefix(&order.types()[..cut], &thresholds);
+            for (pos, &t) in order.types().iter().enumerate() {
+                if pos < cut {
+                    // Same arithmetic stream → exact agreement, not approximate.
+                    prop_assert_eq!(full[t], prefix[t], "order {} cut {}", order, cut);
+                } else {
+                    prop_assert_eq!(prefix[t], 0.0);
+                }
+            }
+        }
+    }
+
+    /// On small games, the CGGS pipeline must agree with the brute-force
+    /// gold standard: never below it (CGGS restricts the order set, ISHM
+    /// restricts the threshold set), and within a few percent of it — the
+    /// paper's γ² ≈ 1 observation (Tables V–VI).
+    #[test]
+    fn cggs_and_brute_force_objectives_agree(seed in 0u64..60) {
+        let n_types = 2 + (seed % 2) as usize;
+        let spec = random_game(&RandomGameConfig {
+            n_attackers: 3,
+            n_victims: 4,
+            ..cfg(n_types, false, 3.0)
+        }, seed);
+        let bank = spec.sample_bank(40, seed);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let orders = AuditOrder::enumerate_all(n_types);
+        let bf = solve_brute_force(&spec, &est, &orders).unwrap();
+
+        // (a) For the brute-force optimal thresholds, column generation
+        // reaches the exact master value on these tiny instances.
+        let cggs_at_opt = Cggs::default().solve(&spec, &est, &bf.thresholds).unwrap();
+        prop_assert!(cggs_at_opt.master.value >= bf.value - 1e-7);
+        prop_assert!(
+            (cggs_at_opt.master.value - bf.value).abs() <= 0.05 * bf.value.abs().max(1.0),
+            "CGGS at optimal thresholds {} vs exact {}",
+            cggs_at_opt.master.value, bf.value
+        );
+
+        // (b) The full heuristic pipeline (ISHM over thresholds + CGGS
+        // inner) lands within tolerance of the global optimum.
+        let mut eval = CggsEvaluator::new(&spec, est, Default::default());
+        let ishm = Ishm::new(IshmConfig { epsilon: 0.1, ..Default::default() })
+            .solve(&spec, &mut eval)
+            .unwrap();
+        prop_assert!(ishm.value >= bf.value - 1e-7,
+            "heuristic {} beat the exhaustive optimum {}", ishm.value, bf.value);
+        // ISHM is a local search: bound its optimality gap by a few percent
+        // of the game's payoff scale (a pure relative bound is meaningless
+        // when the optimum sits near zero).
+        prop_assert!(
+            ishm.value - bf.value <= 0.05 * spec.max_possible_loss().max(1.0),
+            "ISHM+CGGS {} drifted from brute force {} (scale {})",
+            ishm.value, bf.value, spec.max_possible_loss()
+        );
     }
 
     /// Dedup never changes the game value.
