@@ -1,4 +1,5 @@
-//! Run every experiment back to back (the full EXPERIMENTS.md regeneration).
+//! Run every experiment back to back (the full EXPERIMENTS.md
+//! regeneration), then sweep the whole scenario registry.
 //!
 //! ```text
 //! cargo run -p audit-bench --release --bin exp_all [--quick]
@@ -6,7 +7,12 @@
 //!
 //! `--quick` shrinks grids so the whole suite finishes in a few minutes on
 //! one core — useful as a smoke test; drop it for the full paper grids.
+//! The final phase iterates `alert_audit::scenario::registry()` and solves
+//! every scenario end to end (ISHM+CGGS at its suggested ε), printing one
+//! loss per registry key — the quick "every workload still flows" check.
 
+use audit_bench::defaults::default_threads;
+use audit_bench::scenarios::{registry_sweep, render_sweep};
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) {
@@ -45,5 +51,10 @@ fn main() {
         run("exp_fig2", &[]);
         run("exp_hardness", &[]);
     }
+
+    let samples = if quick { 60 } else { 200 };
+    eprintln!("\n=== scenario registry sweep ({samples} samples) ===");
+    let rows = registry_sweep(samples, default_threads()).expect("registry sweep solves");
+    println!("{}", render_sweep(&rows));
     eprintln!("\nall experiments completed");
 }

@@ -3,24 +3,28 @@
 //! against the exhaustive lattice of 7680 vectors.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_exploration [budgets] [epsilons] [samples] [threads]
+//! cargo run -p audit-bench --release --bin exp_exploration [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
 use audit_bench::defaults::{
     default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
 };
 use audit_bench::report::Table;
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 use audit_bench::syn_experiments::{exploration_summary, ishm_grid};
 
 fn main() {
-    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
-    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
-    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
-    let threads = parse_count(std::env::args().nth(4), default_threads());
-    eprintln!("Section IV.C exploration vectors T and T'");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
+    let budgets = parse_list(args.first().cloned(), &SYN_BUDGETS);
+    let epsilons = parse_list(args.get(1).cloned(), &SYN_EPSILONS);
+    let samples = parse_count(args.get(2).cloned(), SYN_SAMPLES);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
+    let (key, base) = resolve_base_spec(scenario, "syn-a", SEED);
+    eprintln!("Section IV.C exploration vectors T and T' on {key}");
     let t0 = std::time::Instant::now();
-    let grid = ishm_grid(&budgets, &epsilons, false, samples, SEED, threads).expect("grid");
-    let summary = exploration_summary(&grid);
+    let grid = ishm_grid(&base, &budgets, &epsilons, false, samples, SEED, threads).expect("grid");
+    let summary = exploration_summary(&base, &grid);
 
     let mut table = Table::new(vec!["eps", "T (mean explored)", "T' (ratio of lattice)"]);
     for (eps, mean, ratio) in summary {

@@ -3,47 +3,47 @@
 //! {0.1, 0.2, 0.3}) and the three baselines.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_fig1 [budgets] [samples] [repeats] [threads]
+//! cargo run -p audit-bench --release --bin exp_fig1 [budgets] [samples] [repeats] [threads] [--scenario <key>]
 //! ```
 //!
 //! `samples` overrides the Monte-Carlo sample count, `repeats` the
 //! random-threshold baseline repetitions, `threads` the detection-engine
 //! workers (default: `AUDIT_THREADS` or 1; thread count never changes the
-//! numbers). The laptop-scale Rea A configuration is used (fewer simulated
-//! people, identical statistical structure), since the full-scale world
-//! only changes simulation time, not the game.
+//! numbers), and `--scenario` swaps the base game (default `emr-reaa`,
+//! the laptop-scale Rea A configuration — fewer simulated people,
+//! identical statistical structure, since the full-scale world only
+//! changes simulation time, not the game).
 
 use audit_bench::defaults::{
     default_threads, parse_count, FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS,
     REAL_SAMPLES, SEED,
 };
 use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
     let budgets: Vec<f64> = args
-        .get(1)
-        .filter(|s| !s.starts_with("--"))
+        .first()
         .map(|s| {
             s.split(',')
                 .map(|x| x.parse().expect("numeric list"))
                 .collect()
         })
         .unwrap_or_else(audit_bench::defaults::fig1_budgets);
-    let samples = parse_count(args.get(2).cloned(), REAL_SAMPLES);
-    let repeats = parse_count(args.get(3).cloned(), RANDOM_THRESHOLD_REPEATS);
-    let threads = parse_count(args.get(4).cloned(), default_threads());
+    let samples = parse_count(args.get(1).cloned(), REAL_SAMPLES);
+    let repeats = parse_count(args.get(2).cloned(), RANDOM_THRESHOLD_REPEATS);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
 
-    eprintln!("Figure 1 reproduction: Rea A (synthetic VUMC EMR workload)");
+    eprintln!("Figure 1 reproduction (Rea A budget sweep with baselines)");
     let t0 = std::time::Instant::now();
-    let config = emrsim::reaa::small_config(SEED);
-    let (spec, profile) = emrsim::reaa::build_game_with_profile(&config).expect("Rea A builds");
+    let (_, spec) = resolve_base_spec(scenario, "emr-reaa", SEED);
     eprintln!(
-        "fitted per-type means: {:?}",
-        profile
-            .means
+        "per-type count-model means: {:?}",
+        spec.distributions
             .iter()
-            .map(|m| (m * 100.0).round() / 100.0)
+            .map(|d| (d.mean() * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
 

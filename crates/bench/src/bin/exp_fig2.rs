@@ -3,7 +3,7 @@
 //! three baselines.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_fig2 [budgets] [samples] [repeats] [threads]
+//! cargo run -p audit-bench --release --bin exp_fig2 [budgets] [samples] [repeats] [threads] [--scenario <key>]
 //! ```
 
 use audit_bench::defaults::{
@@ -11,34 +11,31 @@ use audit_bench::defaults::{
     REAL_SAMPLES, SEED,
 };
 use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
     let budgets: Vec<f64> = args
-        .get(1)
+        .first()
         .map(|s| {
             s.split(',')
                 .map(|x| x.parse().expect("numeric list"))
                 .collect()
         })
         .unwrap_or_else(audit_bench::defaults::fig2_budgets);
-    let samples = parse_count(args.get(2).cloned(), REAL_SAMPLES);
-    let repeats = parse_count(args.get(3).cloned(), RANDOM_THRESHOLD_REPEATS);
-    let threads = parse_count(args.get(4).cloned(), default_threads());
+    let samples = parse_count(args.get(1).cloned(), REAL_SAMPLES);
+    let repeats = parse_count(args.get(2).cloned(), RANDOM_THRESHOLD_REPEATS);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
 
-    eprintln!("Figure 2 reproduction: Rea B (synthetic Statlog credit data)");
+    eprintln!("Figure 2 reproduction (Rea B budget sweep with baselines)");
     let t0 = std::time::Instant::now();
-    let config = creditsim::reab::ReaBConfig {
-        seed: SEED,
-        ..Default::default()
-    };
-    let (spec, profile) = creditsim::reab::build_game_with_profile(&config).expect("Rea B builds");
+    let (_, spec) = resolve_base_spec(scenario, "credit-reab", SEED);
     eprintln!(
-        "fitted per-type means: {:?}",
-        profile
-            .means
+        "per-type count-model means: {:?}",
+        spec.distributions
             .iter()
-            .map(|m| (m * 100.0).round() / 100.0)
+            .map(|d| (d.mean() * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
 

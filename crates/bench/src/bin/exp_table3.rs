@@ -2,37 +2,42 @@
 //! budgets 2..=20, found by exhaustive threshold search + exact master LP.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table3 [budgets] [samples] [threads]
+//! cargo run -p audit-bench --release --bin exp_table3 [budgets] [samples] [threads] [--scenario <key>]
 //! ```
 //!
 //! `budgets` is a comma-separated list (default: the paper's 2..=20 grid);
 //! `samples` overrides the Monte-Carlo sample count (default: 1000);
 //! `threads` sets the detection-engine workers (default: `AUDIT_THREADS`
-//! or 1 — thread count never changes the numbers, only the wall clock).
+//! or 1 — thread count never changes the numbers, only the wall clock);
+//! `--scenario` swaps the base game for any registry scenario (default
+//! `syn-a`; brute force is only tractable for small threshold lattices).
 
 use audit_bench::defaults::{default_threads, parse_count, SEED, SYN_BUDGETS, SYN_SAMPLES};
 use audit_bench::report::{f4, support_str, thresholds_str, Table};
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 use audit_bench::syn_experiments::table3;
-use audit_game::datasets::syn_a_with_budget;
 
 fn main() {
-    let budgets: Vec<f64> = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
+    let budgets: Vec<f64> = args
+        .first()
         .map(|s| {
             s.split(',')
                 .map(|b| b.parse().expect("budgets are comma-separated numbers"))
                 .collect()
         })
         .unwrap_or_else(|| SYN_BUDGETS.to_vec());
-    let samples = parse_count(std::env::args().nth(2), SYN_SAMPLES);
-    let threads = parse_count(std::env::args().nth(3), default_threads());
+    let samples = parse_count(args.get(1).cloned(), SYN_SAMPLES);
+    let threads = parse_count(args.get(2).cloned(), default_threads());
+    let (key, base) = resolve_base_spec(scenario, "syn-a", SEED);
 
     eprintln!(
-        "Table III reproduction: Syn A brute force, {samples} samples, seed {SEED}, {threads} engine thread(s)"
+        "Table III reproduction: {key} brute force, {samples} samples, seed {SEED}, {threads} engine thread(s)"
     );
     let t0 = std::time::Instant::now();
-    let rows = table3(&budgets, samples, SEED, threads).expect("brute force solves");
-    let costs = syn_a_with_budget(2.0).audit_costs();
+    let rows = table3(&base, &budgets, samples, SEED, threads).expect("brute force solves");
+    let costs = base.audit_costs();
 
     let mut table = Table::new(vec![
         "ID",

@@ -2,26 +2,31 @@
 //! inner solver across the same (B, ε) grid as Table IV.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons] [samples] [threads]
+//! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
 use audit_bench::defaults::{
     default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
 };
 use audit_bench::report::{f4, thresholds_str, Table};
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 use audit_bench::syn_experiments::ishm_grid;
-use audit_game::datasets::syn_a_with_budget;
 
 fn main() {
-    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
-    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
-    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
-    let threads = parse_count(std::env::args().nth(4), default_threads());
-    eprintln!("Table V reproduction: ISHM + CGGS ({samples} samples, {threads} engine thread(s))");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
+    let budgets = parse_list(args.first().cloned(), &SYN_BUDGETS);
+    let epsilons = parse_list(args.get(1).cloned(), &SYN_EPSILONS);
+    let samples = parse_count(args.get(2).cloned(), SYN_SAMPLES);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
+    let (key, base) = resolve_base_spec(scenario, "syn-a", SEED);
+    eprintln!(
+        "Table V reproduction on {key}: ISHM + CGGS ({samples} samples, {threads} engine thread(s))"
+    );
     let t0 = std::time::Instant::now();
-    let grid =
-        ishm_grid(&budgets, &epsilons, true, samples, SEED, threads).expect("ISHM+CGGS grid");
-    let costs = syn_a_with_budget(2.0).audit_costs();
+    let grid = ishm_grid(&base, &budgets, &epsilons, true, samples, SEED, threads)
+        .expect("ISHM+CGGS grid");
+    let costs = base.audit_costs();
 
     let mut header: Vec<String> = vec!["B".into()];
     header.extend(epsilons.iter().map(|e| format!("eps={e}")));

@@ -5,28 +5,34 @@
 //! `γ_ε = 1 − mean_B |Ŝ(B,ε) − S(B)| / |S(B)|`.
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table6 [budgets] [epsilons] [samples] [threads]
+//! cargo run -p audit-bench --release --bin exp_table6 [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
 use audit_bench::defaults::{
     default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
 };
 use audit_bench::report::Table;
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 use audit_bench::syn_experiments::{gamma_per_epsilon, ishm_grid, table3};
 
 fn main() {
-    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
-    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS);
-    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
-    let threads = parse_count(std::env::args().nth(4), default_threads());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
+    let budgets = parse_list(args.first().cloned(), &SYN_BUDGETS);
+    let epsilons = parse_list(args.get(1).cloned(), &SYN_EPSILONS);
+    let samples = parse_count(args.get(2).cloned(), SYN_SAMPLES);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
+    let (_, base) = resolve_base_spec(scenario, "syn-a", SEED);
     let t0 = std::time::Instant::now();
 
     eprintln!("[1/3] brute-force optimum (Table III)");
-    let optimal = table3(&budgets, samples, SEED, threads).expect("table3");
+    let optimal = table3(&base, &budgets, samples, SEED, threads).expect("table3");
     eprintln!("[2/3] ISHM grid (Table IV)");
-    let grid_exact = ishm_grid(&budgets, &epsilons, false, samples, SEED, threads).expect("grid");
+    let grid_exact =
+        ishm_grid(&base, &budgets, &epsilons, false, samples, SEED, threads).expect("grid");
     eprintln!("[3/3] ISHM+CGGS grid (Table V)");
-    let grid_cggs = ishm_grid(&budgets, &epsilons, true, samples, SEED, threads).expect("grid");
+    let grid_cggs =
+        ishm_grid(&base, &budgets, &epsilons, true, samples, SEED, threads).expect("grid");
 
     let g1 = gamma_per_epsilon(&optimal, &grid_exact);
     let g2 = gamma_per_epsilon(&optimal, &grid_cggs);

@@ -2,23 +2,27 @@
 //! explores per (B, ε).
 //!
 //! ```text
-//! cargo run -p audit-bench --release --bin exp_table7 [budgets] [epsilons] [samples] [threads]
+//! cargo run -p audit-bench --release --bin exp_table7 [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
 use audit_bench::defaults::{
     default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS_T7, SYN_SAMPLES,
 };
 use audit_bench::report::Table;
+use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
 use audit_bench::syn_experiments::ishm_grid;
 
 fn main() {
-    let budgets = parse_list(std::env::args().nth(1), &SYN_BUDGETS);
-    let epsilons = parse_list(std::env::args().nth(2), &SYN_EPSILONS_T7);
-    let samples = parse_count(std::env::args().nth(3), SYN_SAMPLES);
-    let threads = parse_count(std::env::args().nth(4), default_threads());
-    eprintln!("Table VII reproduction: ISHM exploration counters");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = take_scenario_flag(&mut args);
+    let budgets = parse_list(args.first().cloned(), &SYN_BUDGETS);
+    let epsilons = parse_list(args.get(1).cloned(), &SYN_EPSILONS_T7);
+    let samples = parse_count(args.get(2).cloned(), SYN_SAMPLES);
+    let threads = parse_count(args.get(3).cloned(), default_threads());
+    let (key, base) = resolve_base_spec(scenario, "syn-a", SEED);
+    eprintln!("Table VII reproduction on {key}: ISHM exploration counters");
     let t0 = std::time::Instant::now();
-    let grid = ishm_grid(&budgets, &epsilons, false, samples, SEED, threads).expect("grid");
+    let grid = ishm_grid(&base, &budgets, &epsilons, false, samples, SEED, threads).expect("grid");
 
     // Paper layout: rows = ε, columns = B.
     let mut header: Vec<String> = vec!["eps \\ B".into()];

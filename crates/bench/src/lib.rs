@@ -4,12 +4,17 @@
 //! shared runners in this library:
 //!
 //! * [`report`] — plain-text/markdown table rendering;
-//! * [`syn_experiments`] — Syn A sweeps (Tables III–VII, Section IV.C);
-//! * [`real_experiments`] — Rea A / Rea B budget sweeps (Figures 1–2);
+//! * [`syn_experiments`] — synthetic-grid sweeps (Tables III–VII, Section
+//!   IV.C) over any base scenario;
+//! * [`real_experiments`] — budget sweeps with baselines (Figures 1–2);
+//! * [`scenarios`] — `--scenario` flag handling and the registry-wide
+//!   sweep;
 //! * [`defaults`] — the budget grids and seeds shared across binaries.
 //!
 //! Every runner takes explicit seeds and sample counts so results are
-//! reproducible; the binaries print the same rows/series the paper reports.
+//! reproducible; the binaries print the same rows/series the paper
+//! reports, and each accepts `--scenario <key>` to re-run its experiment
+//! on any scenario from `alert_audit::scenario::registry()`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -17,4 +22,5 @@
 pub mod defaults;
 pub mod real_experiments;
 pub mod report;
+pub mod scenarios;
 pub mod syn_experiments;

@@ -1,11 +1,15 @@
-//! Syn A experiment runners (paper Section IV, Tables III–VII).
+//! Synthetic-grid experiment runners (paper Section IV, Tables III–VII).
+//!
+//! Historically these runners hard-coded the Syn A game; they now take any
+//! base [`GameSpec`] (resolved from the scenario registry by the `exp_*`
+//! binaries' `--scenario` flag) and sweep the audit budget over it.
 
 use audit_game::brute_force::{solve_brute_force_with, threshold_space_size, BruteForceResult};
 use audit_game::cggs::CggsConfig;
-use audit_game::datasets::syn_a_with_budget;
 use audit_game::detection::{DetectionEstimator, DetectionModel, PalEngine};
 use audit_game::error::GameError;
 use audit_game::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig};
+use audit_game::model::GameSpec;
 use audit_game::ordering::AuditOrder;
 use serde::{Deserialize, Serialize};
 
@@ -43,16 +47,18 @@ pub struct GridCell {
     pub explored: usize,
 }
 
-/// Compute the Table III row for one budget by exhaustive search.
-/// `threads` sets the batch workers of the detection engine (results are
-/// thread-count invariant).
+/// Compute the Table III row for one budget by exhaustive search over the
+/// base scenario's threshold lattice. `threads` sets the batch workers of
+/// the detection engine (results are thread-count invariant).
 pub fn optimal_for_budget(
+    base: &GameSpec,
     budget: f64,
     n_samples: usize,
     seed: u64,
     threads: usize,
 ) -> Result<OptimalRow, GameError> {
-    let spec = syn_a_with_budget(budget);
+    let mut spec = base.clone();
+    spec.budget = budget;
     let bank = spec.sample_bank(n_samples, seed);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
     let orders = AuditOrder::enumerate_all(spec.n_types());
@@ -80,19 +86,21 @@ pub fn optimal_for_budget(
 
 /// Compute Table III over a budget grid, one thread per budget.
 pub fn table3(
+    base: &GameSpec,
     budgets: &[f64],
     n_samples: usize,
     seed: u64,
     threads: usize,
 ) -> Result<Vec<OptimalRow>, GameError> {
     parallel_map(budgets, |&b| {
-        optimal_for_budget(b, n_samples, seed, threads)
+        optimal_for_budget(base, b, n_samples, seed, threads)
     })
 }
 
 /// Run ISHM at one `(B, ε)` grid point. `use_cggs` selects the Table V
 /// variant (CGGS inner evaluator) over the Table IV variant (exact inner).
 pub fn ishm_cell(
+    base: &GameSpec,
     budget: f64,
     epsilon: f64,
     use_cggs: bool,
@@ -100,7 +108,8 @@ pub fn ishm_cell(
     seed: u64,
     threads: usize,
 ) -> Result<GridCell, GameError> {
-    let spec = syn_a_with_budget(budget);
+    let mut spec = base.clone();
+    spec.budget = budget;
     let bank = spec.sample_bank(n_samples, seed);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
     let ishm = Ishm::new(IshmConfig {
@@ -133,6 +142,7 @@ pub fn ishm_cell(
 /// The full `(B, ε)` grid of Table IV (or V with `use_cggs`). Outer index:
 /// budget; inner index: epsilon.
 pub fn ishm_grid(
+    base: &GameSpec,
     budgets: &[f64],
     epsilons: &[f64],
     use_cggs: bool,
@@ -143,7 +153,7 @@ pub fn ishm_grid(
     parallel_map(budgets, |&b| {
         epsilons
             .iter()
-            .map(|&e| ishm_cell(b, e, use_cggs, n_samples, seed, threads))
+            .map(|&e| ishm_cell(base, b, e, use_cggs, n_samples, seed, threads))
             .collect::<Result<Vec<_>, _>>()
     })
 }
@@ -163,10 +173,10 @@ pub fn gamma_per_epsilon(optimal: &[OptimalRow], grid: &[Vec<GridCell>]) -> Vec<
 
 /// Section IV.C exploration summary: per epsilon, the mean number of
 /// threshold vectors ISHM explored over the budget grid (`T`), and the
-/// ratio against the exhaustive lattice (`T'`).
-pub fn exploration_summary(grid: &[Vec<GridCell>]) -> Vec<(f64, f64, f64)> {
+/// ratio against the base scenario's exhaustive lattice (`T'`).
+pub fn exploration_summary(base: &GameSpec, grid: &[Vec<GridCell>]) -> Vec<(f64, f64, f64)> {
     let n_eps = grid.first().map(|row| row.len()).unwrap_or(0);
-    let space = threshold_space_size(&syn_a_with_budget(2.0)) as f64;
+    let space = threshold_space_size(base) as f64;
     (0..n_eps)
         .map(|e| {
             let eps = grid[0][e].epsilon;
@@ -199,12 +209,13 @@ fn parallel_map<T: Sync, R: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use audit_game::datasets::syn_a;
 
     #[test]
     fn optimal_row_matches_paper_magnitude_at_b2() {
         // Table III row 1: optimum 12.2945 with thresholds [1,1,1,1]. Our
         // Monte-Carlo estimate differs in the decimals but must land close.
-        let row = optimal_for_budget(2.0, 300, 7, 2).unwrap();
+        let row = optimal_for_budget(&syn_a(), 2.0, 300, 7, 2).unwrap();
         assert!(
             (row.value - 12.29).abs() < 0.6,
             "B=2 optimum {} far from paper's 12.2945",
@@ -215,15 +226,15 @@ mod tests {
 
     #[test]
     fn optimal_values_decrease_with_budget() {
-        let rows = table3(&[2.0, 6.0, 12.0], 150, 7, 1).unwrap();
+        let rows = table3(&syn_a(), &[2.0, 6.0, 12.0], 150, 7, 1).unwrap();
         assert!(rows[0].value > rows[1].value);
         assert!(rows[1].value > rows[2].value);
     }
 
     #[test]
     fn ishm_cell_close_to_optimal_at_fine_epsilon() {
-        let opt = optimal_for_budget(6.0, 150, 7, 1).unwrap();
-        let cell = ishm_cell(6.0, 0.1, false, 150, 7, 1).unwrap();
+        let opt = optimal_for_budget(&syn_a(), 6.0, 150, 7, 1).unwrap();
+        let cell = ishm_cell(&syn_a(), 6.0, 0.1, false, 150, 7, 1).unwrap();
         let gap = (cell.value - opt.value).abs() / opt.value.abs();
         assert!(
             gap < 0.05,

@@ -1,0 +1,51 @@
+//! End-to-end smoke test: the `exp_table5` experiment binary (ISHM+CGGS
+//! grid) must run on a tiny configuration with an explicit `--scenario`
+//! selection and emit a well-formed grid.
+
+use std::process::Command;
+
+#[test]
+fn exp_table5_runs_end_to_end_with_scenario_flag() {
+    let exe = env!("CARGO_BIN_EXE_exp_table5");
+    let out = Command::new(exe)
+        .args(["2", "0.3", "40", "1", "--scenario", "syn-a"])
+        .output()
+        .expect("exp_table5 spawns");
+    assert!(
+        out.status.success(),
+        "exp_table5 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("eps=0.3"),
+        "missing epsilon column in output:\n{stdout}"
+    );
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("| 2 "))
+        .expect("data row for budget 2");
+    assert!(row.contains('['), "row should carry thresholds: {row}");
+    // The scenario resolution must be echoed on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario syn-a"),
+        "stderr should echo the resolved scenario:\n{stderr}"
+    );
+}
+
+#[test]
+fn exp_table5_rejects_unknown_scenario_with_key_list() {
+    let exe = env!("CARGO_BIN_EXE_exp_table5");
+    let out = Command::new(exe)
+        .args(["2", "0.3", "40", "1", "--scenario", "no-such-scenario"])
+        .output()
+        .expect("exp_table5 spawns");
+    assert!(!out.status.success(), "unknown scenario must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no-such-scenario") && stderr.contains("syn-a"),
+        "error should name the bad key and list known keys:\n{stderr}"
+    );
+}

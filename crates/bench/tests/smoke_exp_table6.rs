@@ -1,0 +1,40 @@
+//! End-to-end smoke test: the `exp_table6` experiment binary (precision γ
+//! against the brute-force optimum) must run on a tiny configuration with
+//! the `--scenario` flag and report both γ rows.
+
+use std::process::Command;
+
+#[test]
+fn exp_table6_runs_end_to_end_on_tiny_config() {
+    let exe = env!("CARGO_BIN_EXE_exp_table6");
+    let out = Command::new(exe)
+        .args(["--scenario", "syn-a", "2", "0.3", "40", "2"])
+        .output()
+        .expect("exp_table6 spawns");
+    assert!(
+        out.status.success(),
+        "exp_table6 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("gamma1 (ISHM)") && stdout.contains("gamma2 (ISHM+CGGS)"),
+        "missing gamma rows:\n{stdout}"
+    );
+    // Precision on the tiny grid must parse as a number close to 1 (the
+    // heuristics track the optimum on Syn A's B=2 cell).
+    let gamma_line = stdout
+        .lines()
+        .find(|l| l.contains("gamma1"))
+        .expect("gamma1 row");
+    let value: f64 = gamma_line
+        .split('|')
+        .filter(|c| !c.trim().is_empty())
+        .nth(1)
+        .expect("gamma value cell")
+        .trim()
+        .parse()
+        .expect("gamma parses");
+    assert!((0.5..=1.0).contains(&value), "gamma1 {value} out of range");
+}

@@ -1,0 +1,59 @@
+//! End-to-end smoke test: the `exp_table7` experiment binary (ISHM
+//! exploration counters) must run on a tiny configuration, including on a
+//! non-default scenario selected via `--scenario`.
+
+use std::process::Command;
+
+#[test]
+fn exp_table7_runs_end_to_end_on_tiny_config() {
+    let exe = env!("CARGO_BIN_EXE_exp_table7");
+    let out = Command::new(exe)
+        .args(["2,4", "0.3", "40", "1"])
+        .output()
+        .expect("exp_table7 spawns");
+    assert!(
+        out.status.success(),
+        "exp_table7 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Paper layout: one row per epsilon, one column per budget.
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("| 0.3 "))
+        .expect("row for eps 0.3");
+    let explored: Vec<usize> = row
+        .split('|')
+        .filter_map(|c| c.trim().parse().ok())
+        .collect();
+    assert_eq!(explored.len(), 2, "one counter per budget: {row}");
+    assert!(explored.iter().all(|&e| e > 0), "counters must be positive");
+}
+
+#[test]
+fn exp_table7_runs_on_a_registry_scenario() {
+    let exe = env!("CARGO_BIN_EXE_exp_table7");
+    // The heavy-tail scenario has a 4-type lattice like Syn A but Zipf
+    // counts; the counters must still flow end to end.
+    let out = Command::new(exe)
+        .args(["3", "0.5", "30", "1", "--scenario", "syn-heavy-tail"])
+        .output()
+        .expect("exp_table7 spawns");
+    assert!(
+        out.status.success(),
+        "exp_table7 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario syn-heavy-tail"),
+        "stderr should echo the resolved scenario:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("| 0.5 ")),
+        "missing eps row:\n{stdout}"
+    );
+}

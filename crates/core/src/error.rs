@@ -12,6 +12,14 @@ pub enum GameError {
     Lp(LpError),
     /// A solver was configured inconsistently (e.g. ε outside `(0, 1]`).
     InvalidConfig(String),
+    /// A scenario key was not found in the registry. Carries the unknown
+    /// key and the keys that are registered.
+    UnknownScenario {
+        /// The key that failed to resolve.
+        key: String,
+        /// All registered keys, in registration order.
+        known: Vec<String>,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -20,6 +28,11 @@ impl fmt::Display for GameError {
             GameError::InvalidSpec(msg) => write!(f, "invalid game specification: {msg}"),
             GameError::Lp(e) => write!(f, "LP solve failed: {e}"),
             GameError::InvalidConfig(msg) => write!(f, "invalid solver configuration: {msg}"),
+            GameError::UnknownScenario { key, known } => write!(
+                f,
+                "unknown scenario '{key}'; registered scenarios: {}",
+                known.join(", ")
+            ),
         }
     }
 }

@@ -47,7 +47,11 @@
 //!   realized stream of alerts;
 //! * [`solver`] — a one-call facade combining ISHM + CGGS;
 //! * [`datasets`] — the Syn A synthetic game (paper Table II) and random
-//!   game generators for tests and benchmarks.
+//!   game generators for tests and benchmarks;
+//! * [`scenario`] — the scenario substrate: a [`scenario::Scenario`]
+//!   trait mapping a seed to a solvable game, with a string-keyed
+//!   [`scenario::Registry`] of built-in settings (Syn A variants plus
+//!   heavy-tail / correlated / seasonal synthetic families).
 //!
 //! ## Quick start
 //!
@@ -80,6 +84,7 @@ pub mod model;
 pub mod ordering;
 pub mod payoff;
 pub mod quantal;
+pub mod scenario;
 pub mod sensitivity;
 pub mod simulation;
 pub mod solver;
@@ -100,6 +105,7 @@ pub mod prelude {
     pub use crate::model::{AlertType, AttackAction, Attacker, GameSpec};
     pub use crate::ordering::{AuditOrder, PrecedenceConstraints};
     pub use crate::quantal::QuantalResponse;
+    pub use crate::scenario::{Registry, Scenario};
     pub use crate::simulation::{simulate_policy, SimulationReport};
     pub use crate::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig};
 }

@@ -3,7 +3,7 @@
 
 use crate::error::GameError;
 use std::sync::Arc;
-use stochastics::CountDistribution;
+use stochastics::{CountDistribution, JointCountModel};
 
 /// One alert category `t ∈ T`.
 #[derive(Debug, Clone)]
@@ -133,6 +133,12 @@ pub struct GameSpec {
     /// Whether adversaries may refrain from attacking (utility 0). The real
     /// datasets allow this (deterrence); Syn A does not (see `DESIGN.md`).
     pub allow_opt_out: bool,
+    /// Optional correlated benign-count sampler. When set,
+    /// [`GameSpec::sample_bank`] draws joint rows from it instead of
+    /// sampling the marginals independently; `distributions` must then hold
+    /// the matching per-type *marginal* laws (they still drive threshold
+    /// bounds and reporting).
+    pub joint_counts: Option<Arc<dyn JointCountModel>>,
 }
 
 impl std::fmt::Debug for GameSpec {
@@ -143,6 +149,7 @@ impl std::fmt::Debug for GameSpec {
             .field("n_attackers", &self.attackers.len())
             .field("budget", &self.budget)
             .field("allow_opt_out", &self.allow_opt_out)
+            .field("correlated_counts", &self.joint_counts.is_some())
             .finish()
     }
 }
@@ -179,16 +186,20 @@ impl GameSpec {
             .collect()
     }
 
-    /// Draw a common-random-number sample bank of benign count vectors from
-    /// the per-type distributions (one column per alert type).
+    /// Draw a common-random-number sample bank of benign count vectors:
+    /// joint rows from [`GameSpec::joint_counts`] when a correlated model is
+    /// attached, otherwise independent draws from the per-type marginals.
     pub fn sample_bank(&self, n_samples: usize, seed: u64) -> stochastics::SampleBank {
-        stochastics::SampleBank::generate_from(
-            self.distributions
-                .iter()
-                .map(|d| d.as_ref() as &dyn CountDistribution),
-            n_samples,
-            seed,
-        )
+        match &self.joint_counts {
+            Some(joint) => stochastics::SampleBank::generate_joint(joint.as_ref(), n_samples, seed),
+            None => stochastics::SampleBank::generate_from(
+                self.distributions
+                    .iter()
+                    .map(|d| d.as_ref() as &dyn CountDistribution),
+                n_samples,
+                seed,
+            ),
+        }
     }
 
     /// Validate structural soundness. All solvers call this first.
@@ -202,6 +213,15 @@ impl GameSpec {
                 self.alert_types.len(),
                 self.distributions.len()
             )));
+        }
+        if let Some(joint) = &self.joint_counts {
+            if joint.n_types() != self.alert_types.len() {
+                return Err(GameError::InvalidSpec(format!(
+                    "joint count model covers {} types but the game has {}",
+                    joint.n_types(),
+                    self.alert_types.len()
+                )));
+            }
         }
         if !(self.budget.is_finite() && self.budget >= 0.0) {
             return Err(GameError::InvalidSpec(format!(
@@ -299,6 +319,73 @@ impl GameSpec {
         out
     }
 
+    /// A structural fingerprint of the full specification, bit-exact in
+    /// every float.
+    ///
+    /// Covers the alert vocabulary (names, audit costs), the complete pmf
+    /// of every count distribution over its support, the attacker/action
+    /// table (labels, footprints, payoffs), budget, opt-out, and — through
+    /// a fixed-seed probe bank — the joint count model when one is
+    /// attached. Two specs with equal fingerprints are interchangeable for
+    /// every solver in this workspace; the scenario property suite uses
+    /// this to pin "same seed ⇒ bit-identical game" across reruns and
+    /// thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte serialization.
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn word(&mut self, x: u64) {
+                self.bytes(&x.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.word(self.alert_types.len() as u64);
+        for (t, d) in self.alert_types.iter().zip(&self.distributions) {
+            h.bytes(t.name.as_bytes());
+            h.word(t.audit_cost.to_bits());
+            h.word(d.support_min());
+            h.word(d.support_max());
+            for n in d.support_min()..=d.support_max() {
+                h.word(d.pmf(n).to_bits());
+            }
+        }
+        h.word(self.attackers.len() as u64);
+        for att in &self.attackers {
+            h.bytes(att.name.as_bytes());
+            h.word(att.attack_prob.to_bits());
+            h.word(att.actions.len() as u64);
+            for act in &att.actions {
+                h.bytes(act.victim.as_bytes());
+                for &(t, p) in &act.alert_probs {
+                    h.word(t as u64);
+                    h.word(p.to_bits());
+                }
+                h.word(act.reward.to_bits());
+                h.word(act.attack_cost.to_bits());
+                h.word(act.penalty.to_bits());
+            }
+        }
+        h.word(self.budget.to_bits());
+        h.word(self.allow_opt_out as u64);
+        if self.joint_counts.is_some() {
+            // Probe the joint sampler with a small fixed-seed bank so two
+            // specs differing only in correlation structure hash apart.
+            let probe = self.sample_bank(8, 0xF1D0);
+            for row in probe.rows() {
+                for &z in row {
+                    h.word(z);
+                }
+            }
+        }
+        h.0
+    }
+
     /// Sum over attackers of their single best undetected-attack utility —
     /// a finite upper bound on the auditor's loss, used for sanity checks.
     pub fn max_possible_loss(&self) -> f64 {
@@ -333,6 +420,7 @@ pub struct GameSpecBuilder {
     attackers: Vec<Attacker>,
     budget: f64,
     allow_opt_out: bool,
+    joint_counts: Option<Arc<dyn JointCountModel>>,
 }
 
 impl GameSpecBuilder {
@@ -372,6 +460,14 @@ impl GameSpecBuilder {
         self
     }
 
+    /// Attach a correlated benign-count sampler. The per-type distributions
+    /// registered via [`GameSpecBuilder::alert_type`] must be the matching
+    /// marginals.
+    pub fn joint_counts(&mut self, model: Arc<dyn JointCountModel>) -> &mut Self {
+        self.joint_counts = Some(model);
+        self
+    }
+
     /// Finalize and validate.
     pub fn build(self) -> Result<GameSpec, GameError> {
         let spec = GameSpec {
@@ -380,6 +476,7 @@ impl GameSpecBuilder {
             attackers: self.attackers,
             budget: self.budget,
             allow_opt_out: self.allow_opt_out,
+            joint_counts: self.joint_counts,
         };
         spec.validate()?;
         Ok(spec)
@@ -474,5 +571,53 @@ mod tests {
         let a = AttackAction::benign("v", 0.4);
         assert!(a.alert_probs.is_empty());
         assert_eq!(a.reward, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = tiny_spec();
+        let b = tiny_spec();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = tiny_spec();
+        c.budget += 1.0;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = tiny_spec();
+        d.attackers[0].actions[0].reward += 1e-12;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    struct LockstepCounts;
+
+    impl stochastics::JointCountModel for LockstepCounts {
+        fn n_types(&self) -> usize {
+            2
+        }
+
+        fn sample_row(&self, _i: usize, rng: &mut dyn rand::RngCore) -> Vec<u64> {
+            // Perfectly correlated: both types share one draw.
+            let z = stochastics::UniformCount::new(0, 3).sample(rng);
+            vec![z, z]
+        }
+    }
+
+    #[test]
+    fn joint_model_drives_the_sample_bank() {
+        let mut s = tiny_spec();
+        s.joint_counts = Some(Arc::new(LockstepCounts));
+        s.validate().unwrap();
+        let bank = s.sample_bank(64, 9);
+        assert!(bank.rows().all(|r| r[0] == r[1]), "correlation lost");
+        // Same spec without the joint model samples independently.
+        let indep = tiny_spec().sample_bank(64, 9);
+        assert!(indep.rows().any(|r| r[0] != r[1]));
+    }
+
+    #[test]
+    fn joint_model_arity_is_validated() {
+        let mut s = tiny_spec();
+        s.alert_types.push(AlertType::new("t2", 1.0));
+        s.distributions.push(Arc::new(Constant(1)));
+        s.joint_counts = Some(Arc::new(LockstepCounts)); // 2 types vs 3
+        assert!(matches!(s.validate(), Err(GameError::InvalidSpec(_))));
     }
 }

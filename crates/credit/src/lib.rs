@@ -19,10 +19,12 @@
 #![warn(clippy::all)]
 
 pub mod reab;
+pub mod scenario;
 pub mod schema;
 pub mod synth;
 
 pub use reab::{build_game, ReaBConfig};
+pub use scenario::ReaBScenario;
 pub use schema::{Application, CheckingStatus, CreditHistory, Purpose, Skill};
 pub use synth::{generate_applications, SynthConfig};
 

@@ -24,10 +24,12 @@
 #![warn(clippy::all)]
 
 pub mod reaa;
+pub mod scenario;
 pub mod workload;
 pub mod world;
 
 pub use reaa::{build_game, ReaAConfig};
+pub use scenario::ReaAScenario;
 pub use workload::WorkloadGenerator;
 pub use world::{Hospital, HospitalConfig, PairProfile};
 

@@ -1,0 +1,171 @@
+//! Registry scenarios for the Rea A (EMR access-log) workload.
+//!
+//! `emr-reaa` compiles the full laptop-scale Rea A pipeline — hospital
+//! world, 28-day simulated workload, repeat filtering, `F_t` fitting, and
+//! the 50×50 attack grid — into a [`GameSpec`] through the existing
+//! [`crate::reaa`] machinery. `emr-reaa-empirical` is the same world with
+//! the raw empirical count fit instead of the moment-matched Gaussian,
+//! exercising the alternative `F_t` path end to end.
+
+use crate::reaa::{build_game, small_config, ReaAConfig};
+use crate::workload::{WorkloadConfig, WorkloadGenerator};
+use crate::world::{Hospital, HospitalConfig};
+use audit_game::error::GameError;
+use audit_game::model::GameSpec;
+use audit_game::scenario::Scenario;
+use std::sync::Arc;
+use tdmt::profile::FitKind;
+
+/// A conformance-scale Rea A configuration: the same seven alert types
+/// and statistical structure as [`small_config`], but a much smaller
+/// world and a 10×10 attack grid, sized for golden-snapshot CI cells.
+pub fn conformance_config(seed: u64) -> ReaAConfig {
+    ReaAConfig {
+        hospital: HospitalConfig {
+            n_employees: 80,
+            n_patients: 300,
+            pool_size: 150,
+            benign_pool_size: 300,
+            ..Default::default()
+        },
+        workload: WorkloadConfig {
+            n_days: 12,
+            benign_per_day: 150,
+            repeat_fraction: 0.3,
+        },
+        n_attack_employees: 10,
+        n_attack_patients: 10,
+        budget: 6.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Rea A as a registry scenario, parameterized by the count-model fit.
+pub struct ReaAScenario {
+    key: &'static str,
+    fit: FitKind,
+}
+
+impl Scenario for ReaAScenario {
+    fn key(&self) -> &str {
+        self.key
+    }
+
+    fn source(&self) -> &str {
+        "emrsim"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Rea A EMR access alerts (paper Section V.A): 7 Table VIII combination types, \
+             50x50 attack grid, {} count fit",
+            match self.fit {
+                FitKind::Gaussian => "Gaussian",
+                FitKind::Empirical => "empirical",
+            }
+        )
+    }
+
+    fn suggested_epsilon(&self) -> f64 {
+        0.2
+    }
+
+    fn build(&self, seed: u64) -> Result<GameSpec, GameError> {
+        build_game(&ReaAConfig {
+            fit: self.fit,
+            ..small_config(seed)
+        })
+    }
+
+    fn build_small(&self, seed: u64) -> Result<GameSpec, GameError> {
+        build_game(&ReaAConfig {
+            fit: self.fit,
+            ..conformance_config(seed)
+        })
+    }
+
+    fn alert_stream(&self, seed: u64, n_periods: usize) -> Result<Vec<Vec<u64>>, GameError> {
+        // Native stream: simulate the hospital workload for the requested
+        // window and count labelled alerts per day, exactly as the fitting
+        // pipeline does.
+        let base = small_config(seed);
+        let hospital = Hospital::generate(base.hospital, seed);
+        let generator = WorkloadGenerator::new(
+            &hospital,
+            WorkloadConfig {
+                n_days: n_periods as u32,
+                ..base.workload
+            },
+        );
+        let mut log = generator.generate(seed);
+        log.dedup_daily();
+        let engine = Hospital::rule_engine();
+        let series = log.per_type_series(&engine, |_, _| {});
+        Ok(tdmt::scenario::transpose_series(&series, n_periods))
+    }
+}
+
+/// The scenarios this crate contributes to the cross-crate registry.
+pub fn scenarios() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        Arc::new(ReaAScenario {
+            key: "emr-reaa",
+            fit: FitKind::Gaussian,
+        }),
+        Arc::new(ReaAScenario {
+            key: "emr-reaa-empirical",
+            fit: FitKind::Empirical,
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_build_has_paper_structure_at_reduced_scale() {
+        for sc in scenarios() {
+            let spec = sc.build_small(3).unwrap();
+            assert_eq!(spec.n_types(), 7, "{}", sc.key());
+            assert_eq!(spec.n_attackers(), 10);
+            assert_eq!(spec.n_actions(), 100);
+            assert!(spec.allow_opt_out);
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn conformance_build_is_deterministic_and_seeded() {
+        let sc = &scenarios()[0];
+        assert_eq!(
+            sc.build_small(7).unwrap().fingerprint(),
+            sc.build_small(7).unwrap().fingerprint()
+        );
+        assert_ne!(
+            sc.build_small(7).unwrap().fingerprint(),
+            sc.build_small(8).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn gaussian_and_empirical_fits_differ() {
+        let all = scenarios();
+        assert_ne!(
+            all[0].build_small(3).unwrap().fingerprint(),
+            all[1].build_small(3).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn native_alert_stream_counts_labelled_days() {
+        let sc = &scenarios()[0];
+        let stream = sc.alert_stream(1, 5).unwrap();
+        assert_eq!(stream.len(), 5);
+        assert!(stream.iter().all(|row| row.len() == 7));
+        // The busy Table VIII types must actually fire.
+        assert!(stream.iter().any(|row| row[0] > 0));
+        assert_eq!(stream, sc.alert_stream(1, 5).unwrap());
+    }
+}

@@ -285,6 +285,126 @@ impl CountDistribution for Poisson {
     }
 }
 
+/// Truncated discrete power law ("Zipf-like") over `[0, cap]`:
+/// `pmf(n) ∝ (n + 1)^{-s}`, renormalized.
+///
+/// A heavy-tailed benign-count model: most periods raise few alerts, but
+/// rare bursts reach far into the tail — the regime where the Gaussian
+/// assumption of the paper's synthetic data is most stressed. Used by the
+/// `syn-heavy-tail` scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zipf {
+    exponent: f64,
+    cap: u64,
+    pmf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Power law with the given exponent `s > 0`, truncated at `cap`.
+    pub fn new(exponent: f64, cap: u64) -> Self {
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "exponent must be positive"
+        );
+        let mut pmf: Vec<f64> = (0..=cap)
+            .map(|n| ((n + 1) as f64).powf(-exponent))
+            .collect();
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p /= total;
+        }
+        Self { exponent, cap, pmf }
+    }
+
+    /// The tail exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl CountDistribution for Zipf {
+    fn pmf(&self, n: u64) -> f64 {
+        self.pmf.get(n as usize).copied().unwrap_or(0.0)
+    }
+
+    fn support_max(&self) -> u64 {
+        self.cap
+    }
+}
+
+/// Finite mixture of count distributions with fixed weights.
+///
+/// This is the *marginal* model matching the correlated/seasonal joint
+/// samplers: when counts are drawn by first picking a latent regime (or a
+/// season phase) and then sampling each type from the regime's component,
+/// each type's marginal law is exactly this mixture. Keeping the marginal
+/// in `GameSpec::distributions` keeps threshold bounds and validation
+/// consistent with what the joint sample bank actually produces.
+#[derive(Clone)]
+pub struct Mixture {
+    components: Vec<(f64, std::sync::Arc<dyn CountDistribution>)>,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("n_components", &self.components.len())
+            .field(
+                "weights",
+                &self.components.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Build from `(weight, component)` pairs; weights are renormalized.
+    pub fn new(components: Vec<(f64, std::sync::Arc<dyn CountDistribution>)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "mixture weights must have positive finite mass"
+        );
+        assert!(
+            components.iter().all(|(w, _)| *w >= 0.0),
+            "mixture weights must be non-negative"
+        );
+        Self {
+            components: components
+                .into_iter()
+                .map(|(w, d)| (w / total, d))
+                .collect(),
+        }
+    }
+}
+
+impl CountDistribution for Mixture {
+    fn pmf(&self, n: u64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.pmf(n)).sum()
+    }
+
+    fn support_max(&self) -> u64 {
+        self.components
+            .iter()
+            .map(|(_, d)| d.support_max())
+            .max()
+            .expect("non-empty mixture")
+    }
+
+    fn support_min(&self) -> u64 {
+        self.components
+            .iter()
+            .map(|(_, d)| d.support_min())
+            .min()
+            .expect("non-empty mixture")
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+}
+
 /// Deterministic count (used by the NP-hardness reduction, which sets
 /// `Z_t = 1` with probability 1 for every type; Appendix, Theorem 1).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -483,6 +603,46 @@ mod tests {
                 d.pmf(k)
             );
         }
+    }
+
+    #[test]
+    fn zipf_normalizes_and_is_heavy_tailed() {
+        let d = Zipf::new(1.8, 40);
+        assert!((total_mass(&d) - 1.0).abs() < 1e-12);
+        assert_eq!(d.support_max(), 40);
+        // Monotone decreasing mass, but with a genuinely fat tail: the top
+        // decile of the support keeps non-trivial mass compared to a
+        // same-mean Gaussian.
+        assert!(d.pmf(0) > d.pmf(1));
+        assert!(d.pmf(36) > 0.0);
+        let tail: f64 = (30..=40).map(|n| d.pmf(n)).sum();
+        assert!(tail > 1e-3, "tail mass {tail} collapsed");
+    }
+
+    #[test]
+    fn mixture_matches_component_average() {
+        use std::sync::Arc;
+        let d = Mixture::new(vec![
+            (0.25, Arc::new(Constant(2)) as Arc<dyn CountDistribution>),
+            (0.75, Arc::new(Constant(6))),
+        ]);
+        assert!((d.pmf(2) - 0.25).abs() < 1e-12);
+        assert!((d.pmf(6) - 0.75).abs() < 1e-12);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(d.support_min(), 2);
+        assert_eq!(d.support_max(), 6);
+        assert!((total_mass(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_renormalizes_weights() {
+        use std::sync::Arc;
+        let d = Mixture::new(vec![
+            (2.0, Arc::new(Constant(1)) as Arc<dyn CountDistribution>),
+            (6.0, Arc::new(Constant(3))),
+        ]);
+        assert!((d.pmf(1) - 0.25).abs() < 1e-12);
+        assert!((d.pmf(3) - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -29,9 +29,10 @@ pub mod normal;
 pub mod rng;
 pub mod stats;
 
-pub use bank::{BankChunk, SampleBank};
+pub use bank::{BankChunk, JointCountModel, SampleBank};
 pub use discrete::{
-    Constant, CountDistribution, DiscretizedGaussian, Empirical, Poisson, UniformCount,
+    Constant, CountDistribution, DiscretizedGaussian, Empirical, Mixture, Poisson, UniformCount,
+    Zipf,
 };
 pub use fit::{fit_discretized_gaussian, fit_empirical};
 pub use rng::seeded_rng;

@@ -15,7 +15,10 @@
 //!   repeated-access filtering (the paper drops 79.5% repeats), and
 //!   per-day alert counting;
 //! * [`profile`] — fitting per-type alert-count distributions `F_t` from a
-//!   labelled log, the bridge into `audit-game`'s `GameSpec`.
+//!   labelled log, the bridge into `audit-game`'s `GameSpec`;
+//! * [`scenario`] — the `tdmt-insider` registry scenario: a synthetic
+//!   event log labelled by a combination rule engine and compiled down to
+//!   a solvable game.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -24,8 +27,10 @@ pub mod event;
 pub mod log;
 pub mod profile;
 pub mod rules;
+pub mod scenario;
 
 pub use event::{AccessEvent, EntityId, RecordId};
 pub use log::AuditLog;
 pub use profile::AlertProfile;
 pub use rules::{CombinationPolicy, Rule, RuleEngine};
+pub use scenario::InsiderScenario;

@@ -9,20 +9,20 @@
 use alert_audit::game::cggs::CggsConfig;
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
 use alert_audit::game::ishm::{CggsEvaluator, Ishm, IshmConfig};
-use creditsim::reab::{build_game_with_profile, ReaBConfig};
 
 fn main() {
-    let (base_spec, profile) = build_game_with_profile(&ReaBConfig {
-        seed: 17,
-        ..Default::default()
-    })
-    .expect("Rea B builds");
+    // Resolve the Rea B scenario from the registry (synthesizes the
+    // application portfolio and fits F_t from historical batches).
+    let registry = alert_audit::scenario::registry();
+    let scenario = registry.get("credit-reab").expect("registered").clone();
+    let base_spec = scenario.build(17).expect("Rea B builds");
 
-    println!("fitted alert-count statistics (cf. paper Table IX):");
-    for t in 0..profile.n_types() {
+    println!("fitted alert-count models (cf. paper Table IX):");
+    for (t, d) in base_spec.distributions.iter().enumerate() {
         println!(
-            "  {:<45} mean {:>7.2}  std {:>5.2}",
-            profile.type_names[t], profile.means[t], profile.stds[t]
+            "  {:<45} mean {:>7.2}",
+            base_spec.alert_types[t].name,
+            d.mean()
         );
     }
 

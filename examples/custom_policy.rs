@@ -6,7 +6,6 @@
 //! ```
 
 use alert_audit::game::cggs::{Cggs, CggsConfig};
-use alert_audit::game::datasets::syn_a_with_budget;
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
 use alert_audit::game::hardness::{knapsack_to_oap, solve_knapsack, KnapsackInstance};
 use alert_audit::game::ordering::PrecedenceConstraints;
@@ -15,9 +14,11 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Precedence-constrained auditing: organizational policy demands
     //    that Type 1 alerts (index 0) are always audited before Type 4
-    //    alerts (index 3).
+    //    alerts (index 3). Base game: the registry's `syn-a-b6`.
     // ------------------------------------------------------------------
-    let spec = syn_a_with_budget(6.0);
+    let spec = alert_audit::scenario::registry()
+        .build("syn-a-b6", 0)
+        .expect("registered scenario");
     let bank = spec.sample_bank(400, 3);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
     let thresholds = vec![2.0, 2.0, 2.0, 2.0];

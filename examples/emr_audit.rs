@@ -10,21 +10,23 @@ use alert_audit::game::baselines::{greedy_by_benefit_loss, random_orders_loss};
 use alert_audit::game::cggs::CggsConfig;
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
 use alert_audit::game::ishm::{CggsEvaluator, Ishm, IshmConfig};
-use emrsim::reaa::{build_game_with_profile, small_config};
 
 fn main() {
-    // 1. Simulate the hospital + 28 days of access logs and assemble the
-    //    game (50 employees × 50 patients; see emrsim::reaa).
-    let mut config = small_config(42);
-    config.budget = 40.0;
-    let (spec, profile) = build_game_with_profile(&config).expect("Rea A builds");
+    // 1. Resolve the Rea A scenario from the registry: it simulates the
+    //    hospital + 28 days of access logs and assembles the game
+    //    (50 employees × 50 patients; see emrsim::scenario).
+    let registry = alert_audit::scenario::registry();
+    let scenario = registry.get("emr-reaa").expect("registered").clone();
+    let mut spec = scenario.build(42).expect("Rea A builds");
+    spec.budget = 40.0;
 
-    println!("fitted alert-count statistics (cf. paper Table VIII):");
-    for t in 0..profile.n_types() {
-        println!(
-            "  {:<38} mean {:>7.2}  std {:>6.2}",
-            profile.type_names[t], profile.means[t], profile.stds[t]
-        );
+    // The scenario's native alert stream is the simulated daily workload;
+    // its per-type means reproduce the shape of paper Table VIII.
+    let stream = scenario.alert_stream(42, 28).expect("simulates");
+    println!("simulated daily alert counts (cf. paper Table VIII):");
+    for t in 0..spec.n_types() {
+        let mean: f64 = stream.iter().map(|row| row[t] as f64).sum::<f64>() / stream.len() as f64;
+        println!("  {:<38} mean {:>7.2}", spec.alert_types[t].name, mean);
     }
 
     // 2. Solve with ISHM + CGGS (7 types → 5040 orderings, so column

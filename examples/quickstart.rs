@@ -1,60 +1,96 @@
-//! Quickstart: build a small audit game, solve it, inspect the policy, and
-//! execute one audit period.
+//! Quickstart: define a custom scenario, register it alongside the
+//! built-in registry, solve it, and execute one audit period.
+//!
+//! The [`Scenario`] trait is the one-file extension point of this
+//! workspace: anything that can deterministically map a seed to a
+//! `GameSpec` plugs into the same registry the experiment drivers
+//! (`exp_* --scenario <key>`), the conformance suite, and the examples
+//! use.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use alert_audit::game::error::GameError;
 use alert_audit::game::execute::{execute_policy, RealizedAlert};
-use alert_audit::game::model::{AttackAction, Attacker, GameSpecBuilder};
+use alert_audit::game::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
+use alert_audit::game::scenario::Scenario;
 use alert_audit::prelude::*;
 use std::sync::Arc;
 use stochastics::DiscretizedGaussian;
 
+/// A three-alert-type insider-threat clinic, as a registry scenario.
+struct ClinicDemo;
+
+impl Scenario for ClinicDemo {
+    fn key(&self) -> &str {
+        "clinic-demo"
+    }
+
+    fn source(&self) -> &str {
+        "example"
+    }
+
+    fn describe(&self) -> String {
+        "quickstart demo: 3 Gaussian alert types, 3 insiders, budget 4".into()
+    }
+
+    fn build(&self, _seed: u64) -> Result<GameSpec, GameError> {
+        // ------------------------------------------------------------------
+        // Describe the alert landscape: three alert types with Gaussian
+        // benign counts and unit audit costs...
+        // ------------------------------------------------------------------
+        let mut builder = GameSpecBuilder::new();
+        let t_vip = builder.alert_type(
+            "VIP record access",
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5)),
+        );
+        let t_coworker = builder.alert_type(
+            "Co-worker record access",
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(4.0, 1.5, 4)),
+        );
+        let t_neighbor = builder.alert_type(
+            "Neighbor record access",
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(3.0, 1.0, 3)),
+        );
+
+        // ------------------------------------------------------------------
+        // ...and who might attack what, and what it is worth to them.
+        // ------------------------------------------------------------------
+        for (i, &(t, reward)) in [(t_vip, 8.0), (t_coworker, 6.0), (t_neighbor, 5.0)]
+            .iter()
+            .enumerate()
+        {
+            builder.attacker(Attacker::new(
+                format!("insider-{i}"),
+                1.0,
+                vec![
+                    AttackAction::deterministic("victim-record", t, reward, 0.5, 6.0),
+                    AttackAction::benign("harmless-record", 0.5),
+                ],
+            ));
+        }
+        builder.budget(4.0);
+        builder.allow_opt_out(true);
+        builder.build()
+    }
+}
+
 fn main() {
     // ------------------------------------------------------------------
-    // 1. Describe the alert landscape: three alert types with Gaussian
-    //    benign counts and unit audit costs.
+    // 1. Register the custom scenario next to the built-ins and resolve
+    //    it by key — exactly how the exp_* drivers find their games.
     // ------------------------------------------------------------------
-    let mut builder = GameSpecBuilder::new();
-    let t_vip = builder.alert_type(
-        "VIP record access",
-        1.0,
-        Arc::new(DiscretizedGaussian::with_halfwidth(6.0, 2.0, 5)),
-    );
-    let t_coworker = builder.alert_type(
-        "Co-worker record access",
-        1.0,
-        Arc::new(DiscretizedGaussian::with_halfwidth(4.0, 1.5, 4)),
-    );
-    let t_neighbor = builder.alert_type(
-        "Neighbor record access",
-        1.0,
-        Arc::new(DiscretizedGaussian::with_halfwidth(3.0, 1.0, 3)),
-    );
+    let mut registry = alert_audit::scenario::registry();
+    registry.register(Arc::new(ClinicDemo));
+    println!("registry knows: {}", registry.keys().join(", "));
+    let spec = registry.build("clinic-demo", 7).expect("valid game");
 
     // ------------------------------------------------------------------
-    // 2. Describe who might attack what, and what it is worth to them.
-    // ------------------------------------------------------------------
-    for (i, &(t, reward)) in [(t_vip, 8.0), (t_coworker, 6.0), (t_neighbor, 5.0)]
-        .iter()
-        .enumerate()
-    {
-        builder.attacker(Attacker::new(
-            format!("insider-{i}"),
-            1.0,
-            vec![
-                AttackAction::deterministic("victim-record", t, reward, 0.5, 6.0),
-                AttackAction::benign("harmless-record", 0.5),
-            ],
-        ));
-    }
-    builder.budget(4.0);
-    builder.allow_opt_out(true);
-    let spec = builder.build().expect("valid game");
-
-    // ------------------------------------------------------------------
-    // 3. Solve the Stackelberg game: ISHM threshold search over an exact
+    // 2. Solve the Stackelberg game: ISHM threshold search over an exact
     //    inner LP (3 types → 6 orderings).
     // ------------------------------------------------------------------
     let solver = OapSolver::new(SolverConfig {
@@ -82,7 +118,7 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 4. Use the policy operationally: one day of realized alerts.
+    // 3. Use the policy operationally: one day of realized alerts.
     // ------------------------------------------------------------------
     let alerts: Vec<RealizedAlert> = (0..6)
         .map(|i| RealizedAlert {

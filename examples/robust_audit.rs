@@ -7,7 +7,6 @@
 //! cargo run --release --example robust_audit
 //! ```
 
-use alert_audit::game::datasets::syn_a_with_budget;
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel};
 use alert_audit::game::execute::AuditPolicy;
 use alert_audit::game::general_sum::{damage_under_mixture, DamageModel};
@@ -19,7 +18,11 @@ use alert_audit::game::simulation::simulate_policy;
 use alert_audit::prelude::*;
 
 fn main() {
-    let spec = syn_a_with_budget(8.0);
+    // The registry's Syn A game, pushed to budget 8 for this workbench.
+    let mut spec = alert_audit::scenario::registry()
+        .build("syn-a", 0)
+        .expect("registered scenario");
+    spec.budget = 8.0;
     let bank = spec.sample_bank(500, 11);
     let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
 

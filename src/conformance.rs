@@ -1,0 +1,385 @@
+//! Cross-solver golden conformance harness.
+//!
+//! For every registry scenario this module solves the (conformance-scale)
+//! game with each applicable solver mode under each detection model, and
+//! serializes the resulting objective values and thresholds. The
+//! `tests/scenario_conformance.rs` suite compares these reports against
+//! committed snapshots in `tests/golden/*.json`, pinning every solver's
+//! answer on every scenario: a performance refactor that drifts any
+//! number fails CI immediately. Regenerate snapshots with
+//! `UPDATE_GOLDEN=1 cargo test --test scenario_conformance`.
+//!
+//! Everything here is deterministic: fixed seeds, fixed sample counts,
+//! single-threaded engines (thread count is separately proven not to
+//! change results by `tests/detection_equivalence.rs`).
+
+use crate::json::Value;
+use audit_game::cggs::Cggs;
+use audit_game::detection::{DetectionEstimator, DetectionModel};
+use audit_game::error::GameError;
+use audit_game::model::GameSpec;
+use audit_game::scenario::Scenario;
+use audit_game::solver::{InnerKind, OapSolver, SolverConfig};
+use std::path::PathBuf;
+
+/// Monte-Carlo samples per conformance cell — small on purpose: the suite
+/// runs in debug CI, and golden comparison needs determinism, not
+/// statistical accuracy.
+pub const CONFORMANCE_SAMPLES: usize = 40;
+
+/// ISHM step size for the conformance cells (coarse, for speed).
+pub const CONFORMANCE_EPSILON: f64 = 0.4;
+
+/// Exact inner enumeration materializes `|T|!` orders; beyond this many
+/// types the `ishm-exact` cell is skipped (the registry's 7-type EMR
+/// scenarios would need 5040 orders per threshold vector).
+pub const EXACT_MAX_TYPES: usize = 5;
+
+/// One solver configuration of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverMode {
+    /// Plain CGGS at the canonical threshold vector (no threshold search).
+    Cggs,
+    /// ISHM threshold search over the exact order enumeration.
+    IshmExact,
+    /// ISHM threshold search over the CGGS inner solver.
+    IshmCggs,
+}
+
+impl SolverMode {
+    /// Every mode, in snapshot order.
+    pub const ALL: [SolverMode; 3] = [
+        SolverMode::Cggs,
+        SolverMode::IshmExact,
+        SolverMode::IshmCggs,
+    ];
+
+    /// Stable snapshot key.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SolverMode::Cggs => "cggs",
+            SolverMode::IshmExact => "ishm-exact",
+            SolverMode::IshmCggs => "ishm-cggs",
+        }
+    }
+
+    /// Whether the mode is tractable for this game.
+    pub fn applicable(&self, spec: &GameSpec) -> bool {
+        match self {
+            SolverMode::IshmExact => spec.n_types() <= EXACT_MAX_TYPES,
+            _ => true,
+        }
+    }
+}
+
+/// Snapshot key of a detection model.
+pub fn detection_key(model: DetectionModel) -> &'static str {
+    match model {
+        DetectionModel::PaperApprox => "paper-approx",
+        DetectionModel::AttackInclusive => "attack-inclusive",
+        DetectionModel::Operational => "operational",
+    }
+}
+
+/// The detection models of the conformance matrix, in snapshot order.
+pub const DETECTION_MODELS: [DetectionModel; 3] = [
+    DetectionModel::PaperApprox,
+    DetectionModel::AttackInclusive,
+    DetectionModel::Operational,
+];
+
+/// One solved cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Solver mode key.
+    pub solver: &'static str,
+    /// Detection model key.
+    pub detection: &'static str,
+    /// Objective value (auditor's loss).
+    pub objective: f64,
+    /// Threshold vector (budget units) the solve settled on.
+    pub thresholds: Vec<f64>,
+}
+
+/// The full conformance report of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Registry key.
+    pub scenario: String,
+    /// Seed the cells were solved at.
+    pub seed: u64,
+    /// `|T|` of the conformance-scale game.
+    pub n_types: usize,
+    /// `|E|` of the conformance-scale game.
+    pub n_attackers: usize,
+    /// Total actions of the conformance-scale game.
+    pub n_actions: usize,
+    /// Budget `B`.
+    pub budget: f64,
+    /// All solved cells, in matrix order.
+    pub cells: Vec<Cell>,
+}
+
+/// The canonical fixed threshold vector for the plain-CGGS cells: full
+/// coverage per type, capped by the budget.
+pub fn canonical_thresholds(spec: &GameSpec) -> Vec<f64> {
+    spec.threshold_upper_bounds()
+        .into_iter()
+        .map(|b| b.min(spec.budget))
+        .collect()
+}
+
+/// Solve one cell.
+pub fn run_cell(
+    spec: &GameSpec,
+    mode: SolverMode,
+    model: DetectionModel,
+    seed: u64,
+) -> Result<Cell, GameError> {
+    let (objective, thresholds) = match mode {
+        SolverMode::Cggs => {
+            let working = spec.dedup_actions();
+            let bank = working.sample_bank(CONFORMANCE_SAMPLES, seed);
+            let est = DetectionEstimator::new(&working, &bank, model);
+            let thresholds = canonical_thresholds(&working);
+            let out = Cggs::default().solve(&working, &est, &thresholds)?;
+            (out.master.value, thresholds)
+        }
+        SolverMode::IshmExact | SolverMode::IshmCggs => {
+            let inner = if mode == SolverMode::IshmExact {
+                InnerKind::Exact
+            } else {
+                InnerKind::Cggs
+            };
+            let sol = OapSolver::new(SolverConfig {
+                epsilon: CONFORMANCE_EPSILON,
+                n_samples: CONFORMANCE_SAMPLES,
+                seed,
+                inner,
+                detection: model,
+                dedup_actions: true,
+                threads: 1,
+            })
+            .solve(spec)?;
+            (sol.loss, sol.policy.thresholds)
+        }
+    };
+    Ok(Cell {
+        solver: mode.key(),
+        detection: detection_key(model),
+        objective,
+        thresholds,
+    })
+}
+
+/// Solve the full conformance matrix of one scenario (at its small scale
+/// and default seed).
+pub fn run_scenario(sc: &dyn Scenario) -> Result<ScenarioReport, GameError> {
+    let seed = sc.default_seed();
+    let spec = sc.build_small(seed)?;
+    let mut cells = Vec::new();
+    for mode in SolverMode::ALL {
+        if !mode.applicable(&spec) {
+            continue;
+        }
+        for model in DETECTION_MODELS {
+            cells.push(run_cell(&spec, mode, model, seed)?);
+        }
+    }
+    Ok(ScenarioReport {
+        scenario: sc.key().to_string(),
+        seed,
+        n_types: spec.n_types(),
+        n_attackers: spec.n_attackers(),
+        n_actions: spec.n_actions(),
+        budget: spec.budget,
+        cells,
+    })
+}
+
+impl ScenarioReport {
+    /// Serialize to the golden JSON format.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("scenario", Value::Str(self.scenario.clone())),
+            ("seed", Value::Num(self.seed as f64)),
+            ("n_types", Value::Num(self.n_types as f64)),
+            ("n_attackers", Value::Num(self.n_attackers as f64)),
+            ("n_actions", Value::Num(self.n_actions as f64)),
+            ("budget", Value::Num(self.budget)),
+            (
+                "cells",
+                Value::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Value::obj([
+                                ("solver", Value::Str(c.solver.to_string())),
+                                ("detection", Value::Str(c.detection.to_string())),
+                                ("objective", Value::Num(c.objective)),
+                                ("thresholds", Value::nums(c.thresholds.iter().copied())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Compare against a parsed golden snapshot; `Err` carries a
+    /// human-readable list of every mismatch.
+    ///
+    /// Objectives and thresholds compare with relative tolerance `1e-9` —
+    /// effectively exact (the pipeline is deterministic), while staying
+    /// robust to libm differences should the goldens ever be regenerated
+    /// on another platform.
+    pub fn compare_to_golden(&self, golden: &Value) -> Result<(), String> {
+        let mut problems = Vec::new();
+        let mut check_num = |field: &str, got: f64, want: Option<f64>| match want {
+            Some(want) if approx_eq(got, want) => {}
+            Some(want) => problems.push(format!("{field}: got {got:?}, golden {want:?}")),
+            None => problems.push(format!("{field}: missing in golden")),
+        };
+        check_num(
+            "seed",
+            self.seed as f64,
+            golden.get("seed").and_then(Value::as_f64),
+        );
+        check_num(
+            "n_types",
+            self.n_types as f64,
+            golden.get("n_types").and_then(Value::as_f64),
+        );
+        check_num(
+            "n_attackers",
+            self.n_attackers as f64,
+            golden.get("n_attackers").and_then(Value::as_f64),
+        );
+        check_num(
+            "n_actions",
+            self.n_actions as f64,
+            golden.get("n_actions").and_then(Value::as_f64),
+        );
+        check_num(
+            "budget",
+            self.budget,
+            golden.get("budget").and_then(Value::as_f64),
+        );
+
+        let golden_cells = golden
+            .get("cells")
+            .and_then(Value::as_arr)
+            .unwrap_or_default();
+        if golden_cells.len() != self.cells.len() {
+            problems.push(format!(
+                "cell count: got {}, golden {}",
+                self.cells.len(),
+                golden_cells.len()
+            ));
+        }
+        for cell in &self.cells {
+            let label = format!("{}/{}", cell.solver, cell.detection);
+            let found = golden_cells.iter().find(|g| {
+                g.get("solver").and_then(Value::as_str) == Some(cell.solver)
+                    && g.get("detection").and_then(Value::as_str) == Some(cell.detection)
+            });
+            let Some(found) = found else {
+                problems.push(format!("{label}: cell missing in golden"));
+                continue;
+            };
+            match found.get("objective").and_then(Value::as_f64) {
+                Some(want) if approx_eq(cell.objective, want) => {}
+                other => problems.push(format!(
+                    "{label}: objective got {:?}, golden {other:?}",
+                    cell.objective
+                )),
+            }
+            let want_thresholds: Vec<f64> = found
+                .get("thresholds")
+                .and_then(Value::as_arr)
+                .map(|a| a.iter().filter_map(Value::as_f64).collect())
+                .unwrap_or_default();
+            let thresholds_match = want_thresholds.len() == cell.thresholds.len()
+                && cell
+                    .thresholds
+                    .iter()
+                    .zip(&want_thresholds)
+                    .all(|(&a, &b)| approx_eq(a, b));
+            if !thresholds_match {
+                problems.push(format!(
+                    "{label}: thresholds got {:?}, golden {want_thresholds:?}",
+                    cell.thresholds
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("\n"))
+        }
+    }
+}
+
+/// Relative comparison at `1e-9`, absolute near zero.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+/// Directory holding the committed golden snapshots.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Path of one scenario's snapshot.
+pub fn golden_path(scenario_key: &str) -> PathBuf {
+    golden_dir().join(format!("{scenario_key}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_and_models_have_stable_keys() {
+        assert_eq!(
+            SolverMode::ALL.map(|m| m.key()),
+            ["cggs", "ishm-exact", "ishm-cggs"]
+        );
+        assert_eq!(
+            DETECTION_MODELS.map(detection_key),
+            ["paper-approx", "attack-inclusive", "operational"]
+        );
+    }
+
+    #[test]
+    fn exact_mode_gates_on_type_count() {
+        let small = audit_game::datasets::syn_a(); // 4 types
+        assert!(SolverMode::IshmExact.applicable(&small));
+        assert!(SolverMode::Cggs.applicable(&small));
+    }
+
+    #[test]
+    fn report_roundtrips_and_self_compares() {
+        let registry = audit_game::scenario::registry();
+        let sc = registry.get("syn-a").unwrap();
+        let report = run_scenario(sc.as_ref()).unwrap();
+        assert_eq!(report.cells.len(), 9, "4-type scenario runs all 9 cells");
+        let json = report.to_json().render();
+        let parsed = crate::json::Value::parse(&json).unwrap();
+        report.compare_to_golden(&parsed).unwrap();
+    }
+
+    #[test]
+    fn comparison_flags_drift() {
+        let registry = audit_game::scenario::registry();
+        let sc = registry.get("syn-a").unwrap();
+        let mut report = run_scenario(sc.as_ref()).unwrap();
+        let golden = crate::json::Value::parse(&report.to_json().render()).unwrap();
+        report.cells[0].objective += 1e-3;
+        let err = report.compare_to_golden(&golden).unwrap_err();
+        assert!(err.contains("objective"), "unexpected message: {err}");
+    }
+}

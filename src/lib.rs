@@ -14,6 +14,17 @@
 //! * [`credit`] (`creditsim`) — the synthetic credit dataset (Rea B
 //!   substitute).
 //!
+//! On top of the re-exports, this crate hosts the cross-crate glue:
+//!
+//! * [`scenario`] — the full scenario registry assembling the core
+//!   synthetic families with the `emrsim` / `creditsim` / `tdmt`
+//!   workloads under string keys;
+//! * [`conformance`] — the golden conformance harness solving every
+//!   registry scenario under every solver/detection-model combination
+//!   (snapshots in `tests/golden/`);
+//! * [`json`] — the minimal JSON layer behind the snapshots (the offline
+//!   serde shim has no data format).
+//!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
 //!
@@ -37,6 +48,10 @@ pub use emrsim as emr;
 pub use lp_solver as lp;
 pub use stochastics;
 pub use tdmt;
+
+pub mod conformance;
+pub mod json;
+pub mod scenario;
 
 /// One-stop re-exports for application code.
 pub mod prelude {

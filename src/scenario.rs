@@ -1,0 +1,75 @@
+//! The cross-crate scenario registry.
+//!
+//! `audit_game::scenario` defines the [`Scenario`] trait and the core
+//! synthetic scenarios; the simulator crates each contribute their own
+//! implementations. This module assembles them into the one registry the
+//! experiment drivers (`--scenario <key>`), the examples, and the golden
+//! conformance suite all share. Adding a workload to the whole toolchain
+//! is therefore: implement [`Scenario`] in the crate that owns the data,
+//! and register it in [`registry`] (one line).
+
+pub use audit_game::scenario::{Registry, Scenario};
+
+/// Every scenario in the workspace, keyed by string:
+///
+/// | key | source | setting |
+/// |---|---|---|
+/// | `syn-a` | core | paper Table II game, budget 2 |
+/// | `syn-a-b6` | core | Table II game, budget 6 |
+/// | `syn-a-b20` | core | Table II game, budget 20 |
+/// | `syn-heavy-tail` | core | Zipf (heavy-tail) benign counts |
+/// | `syn-correlated` | core | calm/storm regime-correlated counts |
+/// | `syn-seasonal` | core | weekly seasonal arrival drift |
+/// | `emr-reaa` | emrsim | Rea A EMR access alerts (Gaussian fit) |
+/// | `emr-reaa-empirical` | emrsim | Rea A with empirical count fit |
+/// | `credit-reab` | creditsim | Rea B credit applications |
+/// | `tdmt-insider` | tdmt | rule-engine insider threat |
+pub fn registry() -> Registry {
+    let mut r = audit_game::scenario::registry();
+    for s in emrsim::scenario::scenarios() {
+        r.register(s);
+    }
+    for s in creditsim::scenario::scenarios() {
+        r.register(s);
+    }
+    for s in tdmt::scenario::scenarios() {
+        r.register(s);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_spans_all_four_substrates() {
+        let r = registry();
+        assert!(r.len() >= 8, "only {} scenarios registered", r.len());
+        let sources: std::collections::BTreeSet<String> =
+            r.iter().map(|s| s.source().to_string()).collect();
+        for expected in ["core", "emrsim", "creditsim", "tdmt"] {
+            assert!(sources.contains(expected), "missing substrate {expected}");
+        }
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        let r = registry();
+        assert_eq!(
+            r.keys(),
+            vec![
+                "syn-a",
+                "syn-a-b6",
+                "syn-a-b20",
+                "syn-heavy-tail",
+                "syn-correlated",
+                "syn-seasonal",
+                "emr-reaa",
+                "emr-reaa-empirical",
+                "credit-reab",
+                "tdmt-insider",
+            ]
+        );
+    }
+}
