@@ -1,0 +1,92 @@
+//! P5 — the online runtime's re-solve path: cold solve vs warm-started
+//! re-solve on a drifted refit of the `syn-seasonal` scenario.
+//!
+//! The fixture reproduces what the service does at a drift epoch: solve
+//! the scenario cold, stream periods into the online fit, refit the
+//! per-type count models from the recent window, and re-solve the refit
+//! game. The comparison isolates what the two warm-start seams (ISHM
+//! start vector + CGGS seed columns) buy over a from-scratch solve of the
+//! same game; both paths reach the same objective within the CG tolerance
+//! (enforced by `tests/runtime_properties.rs`).
+
+use audit_game::scenario::registry;
+use audit_game::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
+use audit_runtime::{warm_start_rescaled, OnlineFit};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Fixture {
+    solver: OapSolver,
+    drifted: audit_game::model::GameSpec,
+    warm: WarmStart,
+    incumbent: AuditSolution,
+}
+
+/// Solve `syn-seasonal` cold, then refit its count models from a 10-period
+/// window of the live stream — the drifted game the service re-solves.
+fn fixture() -> Fixture {
+    let reg = registry();
+    let sc = reg.get("syn-seasonal").expect("core scenario");
+    let spec = sc.build(0).expect("builds");
+    // Paper-scale Monte-Carlo sampling: `Pal` evaluation dominates the
+    // solve, which is exactly the regime where skipping threshold
+    // candidates and pricing iterations pays off.
+    let solver = OapSolver::new(SolverConfig {
+        inner: InnerKind::Cggs,
+        n_samples: 1000,
+        epsilon: 0.25,
+        ..Default::default()
+    });
+    let incumbent = solver.solve(&spec).expect("initial solve");
+
+    // Ten periods = days 0..9 of the weekly cycle: an 8-weekday window,
+    // the busy side of the seasonal drift. The refit is busier than the
+    // committed phase-uniform mixture, so the cold re-solve has a real
+    // descent to do from its full-coverage start — the work the warm
+    // start skips.
+    let stream = sc.alert_stream(0, 10).expect("stream");
+    let mut fit = OnlineFit::new(spec.n_types(), 10);
+    for row in &stream {
+        fit.observe(row);
+    }
+    let mut drifted = spec.clone();
+    drifted.distributions = fit.refit(0.995);
+    drifted.joint_counts = None;
+    let warm = warm_start_rescaled(&incumbent.policy, &spec, &drifted);
+    Fixture {
+        solver,
+        drifted,
+        warm,
+        incumbent,
+    }
+}
+
+fn bench_runtime_resolve(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("runtime_resolve_syn_seasonal");
+    group.sample_size(20);
+    group.bench_function("cold_solve", |b| {
+        b.iter(|| f.solver.solve(&f.drifted).expect("cold re-solve"))
+    });
+    group.bench_function("warm_resolve", |b| {
+        b.iter(|| {
+            f.solver
+                .solve_warm(&f.drifted, Some(&f.warm))
+                .expect("warm re-solve")
+        })
+    });
+    group.bench_function("warm_columns_only", |b| {
+        let columns = WarmStart {
+            thresholds: None,
+            orders: f.incumbent.policy.orders.clone(),
+        };
+        b.iter(|| {
+            f.solver
+                .solve_warm(&f.drifted, Some(&columns))
+                .expect("column-seeded re-solve")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_resolve);
+criterion_main!(benches);

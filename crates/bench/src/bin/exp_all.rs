@@ -7,9 +7,12 @@
 //!
 //! `--quick` shrinks grids so the whole suite finishes in a few minutes on
 //! one core — useful as a smoke test; drop it for the full paper grids.
-//! The final phase iterates `alert_audit::scenario::registry()` and solves
-//! every scenario end to end (ISHM+CGGS at its suggested ε), printing one
-//! loss per registry key — the quick "every workload still flows" check.
+//! The penultimate phase iterates `alert_audit::scenario::registry()` and
+//! solves every scenario end to end (ISHM+CGGS at its suggested ε),
+//! printing one loss per registry key — the quick "every workload still
+//! flows" check. The final phase runs the online runtime (`exp_online`) on
+//! the drifting `syn-seasonal` scenario for a short multi-epoch window and
+//! prints its telemetry summary.
 
 use audit_bench::defaults::default_threads;
 use audit_bench::scenarios::{registry_sweep, render_sweep};
@@ -56,5 +59,19 @@ fn main() {
     eprintln!("\n=== scenario registry sweep ({samples} samples) ===");
     let rows = registry_sweep(samples, default_threads()).expect("registry sweep solves");
     println!("{}", render_sweep(&rows));
+
+    // Online runtime on the drifting scenario: a short epoch loop with
+    // drift-gated warm re-solving and the cold-solve comparison.
+    let online_epochs = if quick { "8" } else { "24" };
+    run(
+        "exp_online",
+        &[
+            online_epochs,
+            "1",
+            "--scenario",
+            "syn-seasonal",
+            "--compare-cold",
+        ],
+    );
     eprintln!("\nall experiments completed");
 }

@@ -1,0 +1,134 @@
+//! Experiment E10 — the online auditing runtime: a multi-epoch service
+//! loop over a registry scenario's alert stream with drift-gated,
+//! warm-started re-solving, printing the per-epoch telemetry and the
+//! deterministic run fingerprint.
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_online [epochs] [threads] \
+//!     [--scenario <key>] [--compare-cold] [--json]
+//! ```
+//!
+//! `--compare-cold` additionally runs a shadow cold solve at every
+//! re-solve and reports the cold-vs-warm latency and objective gap (the
+//! numbers behind `BENCH_runtime.json`); `--json` emits the full
+//! telemetry log as JSON instead of the table.
+
+use alert_audit::telemetry::report_to_json;
+use audit_bench::defaults::{default_threads, parse_count};
+use audit_bench::report::{f4, Table};
+use audit_bench::scenarios::take_scenario_flag;
+use audit_game::solver::SolverConfig;
+use audit_runtime::{AuditService, RuntimeConfig};
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario_key = take_scenario_flag(&mut args).unwrap_or_else(|| "syn-seasonal".into());
+    let compare_cold = take_flag(&mut args, "--compare-cold");
+    let json = take_flag(&mut args, "--json");
+    let epochs = parse_count(args.first().cloned(), 24);
+    let threads = parse_count(args.get(1).cloned(), default_threads());
+
+    let reg = alert_audit::scenario::registry();
+    let scenario = reg
+        .resolve(&scenario_key)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .clone();
+    eprintln!(
+        "online runtime on scenario {}: {}",
+        scenario.key(),
+        scenario.describe()
+    );
+
+    let defaults = RuntimeConfig::default();
+    let cfg = RuntimeConfig {
+        epochs,
+        compare_cold,
+        solver: SolverConfig {
+            threads,
+            ..defaults.solver
+        },
+        ..defaults
+    };
+    eprintln!(
+        "{epochs} epochs x {} periods, drift gate: window {} / KS > {} ({} engine thread(s))",
+        cfg.periods_per_epoch, cfg.drift.window_periods, cfg.drift.ks_threshold, threads
+    );
+
+    let t0 = std::time::Instant::now();
+    let report = AuditService::new(scenario, cfg)
+        .run()
+        .expect("service loop runs");
+    let elapsed = t0.elapsed();
+
+    if json {
+        println!("{}", report_to_json(&report).render());
+    } else {
+        let mut table = Table::new(vec![
+            "epoch", "seen", "audited", "gap", "maxKS", "drift", "resolve", "age", "loss",
+            "solve ms",
+        ]);
+        for e in &report.epochs {
+            table.row(vec![
+                format!("{}", e.epoch),
+                format!("{}", e.alerts_seen.iter().sum::<u64>()),
+                format!("{}", e.alerts_audited.iter().sum::<u64>()),
+                format!("{:.3}", e.pal_gap),
+                format!("{:.3}", e.max_ks),
+                if e.drift { "yes" } else { "" }.into(),
+                if e.resolved { "yes" } else { "" }.into(),
+                format!("{}", e.epochs_since_resolve),
+                f4(e.objective),
+                e.solve_millis
+                    .map(|m| format!("{m:.1}"))
+                    .unwrap_or_default(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // In --json mode stdout must stay a single parseable document (the
+    // summary is embedded in it anyway), so the human-readable summary
+    // moves to stderr there.
+    let summary = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    summary(format!(
+        "resolves: {} (drift epochs: {})",
+        report.resolves(),
+        report.drift_epochs()
+    ));
+    summary(format!(
+        "telemetry fingerprint: {:016x}",
+        report.fingerprint()
+    ));
+    if let Some(stats) = report.resolve_stats() {
+        summary(match (stats.mean_cold_millis, stats.speedup) {
+            (Some(cold), Some(speedup)) => format!(
+                "re-solve latency: warm {:.1} ms vs cold {:.1} ms ({:.2}x), max objective gap {}",
+                stats.mean_solve_millis,
+                cold,
+                speedup,
+                f4(stats.max_objective_gap.unwrap_or(0.0)),
+            ),
+            _ => format!("re-solve latency: warm {:.1} ms", stats.mean_solve_millis),
+        });
+    }
+    summary(format!(
+        "periods/sec: {:.1}",
+        report.total_periods() as f64 / elapsed.as_secs_f64()
+    ));
+    eprintln!("elapsed: {:.1?}", elapsed);
+}

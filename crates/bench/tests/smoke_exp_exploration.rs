@@ -1,0 +1,51 @@
+//! End-to-end smoke test: the `exp_exploration` experiment binary (the
+//! Section IV.C `T` / `T'` exploration vectors) must run on a tiny grid
+//! with an explicit `--scenario` selection and emit one row per ε.
+
+use std::process::Command;
+
+#[test]
+fn exp_exploration_runs_end_to_end_with_scenario_flag() {
+    let exe = env!("CARGO_BIN_EXE_exp_exploration");
+    let out = Command::new(exe)
+        .args(["2,4", "0.3,0.5", "40", "1", "--scenario", "syn-a"])
+        .output()
+        .expect("exp_exploration spawns");
+    assert!(
+        out.status.success(),
+        "exp_exploration exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("T (mean explored)") && stdout.contains("T' (ratio of lattice)"),
+        "missing exploration columns:\n{stdout}"
+    );
+    for eps in ["0.3", "0.5"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(&format!("| {eps} "))),
+            "missing row for eps {eps}:\n{stdout}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario syn-a"),
+        "stderr should echo the resolved scenario:\n{stderr}"
+    );
+}
+
+#[test]
+fn exp_exploration_rejects_unknown_scenario_with_key_list() {
+    let exe = env!("CARGO_BIN_EXE_exp_exploration");
+    let out = Command::new(exe)
+        .args(["2", "0.3", "40", "1", "--scenario", "no-such-scenario"])
+        .output()
+        .expect("exp_exploration spawns");
+    assert!(!out.status.success(), "unknown scenario must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no-such-scenario") && stderr.contains("syn-a"),
+        "error should name the bad key and list known keys:\n{stderr}"
+    );
+}

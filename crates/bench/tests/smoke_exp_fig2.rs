@@ -1,0 +1,58 @@
+//! End-to-end smoke test: the `exp_fig2` experiment binary (Rea B budget
+//! sweep with baselines) must run on a tiny configuration with an explicit
+//! `--scenario` selection and emit every series column.
+
+use std::process::Command;
+
+#[test]
+fn exp_fig2_runs_end_to_end_on_tiny_config() {
+    let exe = env!("CARGO_BIN_EXE_exp_fig2");
+    let out = Command::new(exe)
+        .args(["10", "30", "2", "2", "--scenario", "credit-reab"])
+        .output()
+        .expect("exp_fig2 spawns");
+    assert!(
+        out.status.success(),
+        "exp_fig2 exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for column in [
+        "proposed(eps=0.1)",
+        "proposed(eps=0.2)",
+        "proposed(eps=0.3)",
+        "random-thresholds",
+        "random-orders",
+        "greedy-benefit",
+    ] {
+        assert!(
+            stdout.contains(column),
+            "missing column {column}:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.lines().any(|l| l.starts_with("| 10 ")),
+        "missing data row for budget 10:\n{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario credit-reab"),
+        "stderr should echo the resolved scenario:\n{stderr}"
+    );
+}
+
+#[test]
+fn exp_fig2_rejects_unknown_scenario_with_key_list() {
+    let exe = env!("CARGO_BIN_EXE_exp_fig2");
+    let out = Command::new(exe)
+        .args(["10", "30", "2", "2", "--scenario", "no-such-scenario"])
+        .output()
+        .expect("exp_fig2 spawns");
+    assert!(!out.status.success(), "unknown scenario must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no-such-scenario") && stderr.contains("credit-reab"),
+        "error should name the bad key and list known keys:\n{stderr}"
+    );
+}

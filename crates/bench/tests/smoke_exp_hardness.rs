@@ -1,0 +1,50 @@
+//! End-to-end smoke test: the `exp_hardness` experiment binary (Theorem 1
+//! knapsack reduction) must verify the `OAP* = |E| − knapsack*` identity
+//! on every instance of a tiny run and reject malformed arguments.
+
+use std::process::Command;
+
+#[test]
+fn exp_hardness_verifies_the_reduction_on_a_tiny_run() {
+    let exe = env!("CARGO_BIN_EXE_exp_hardness");
+    let out = Command::new(exe)
+        .args(["4"])
+        .output()
+        .expect("exp_hardness spawns");
+    assert!(
+        out.status.success(),
+        "exp_hardness exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches(" ok ").count(),
+        4,
+        "expected 4 verified instances:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("MISMATCH"),
+        "reduction identity violated:\n{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("all 4 reductions verified"),
+        "missing summary line:\n{stderr}"
+    );
+}
+
+#[test]
+fn exp_hardness_rejects_a_malformed_instance_count() {
+    let exe = env!("CARGO_BIN_EXE_exp_hardness");
+    let out = Command::new(exe)
+        .args(["not-a-number"])
+        .output()
+        .expect("exp_hardness spawns");
+    assert!(!out.status.success(), "malformed count must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("instance count"),
+        "error should name the bad argument:\n{stderr}"
+    );
+}

@@ -54,6 +54,14 @@ pub struct CggsConfig {
     /// Worker threads for batched `Pal` evaluation (results are identical
     /// at every thread count; see [`PalEngine`]).
     pub threads: usize,
+    /// Warm-start column pool: orderings seeded into the restricted master
+    /// before the first pricing iteration (typically the incumbent basis of
+    /// a previous solve, so an online re-solve restarts from the old
+    /// optimum instead of rediscovering it column by column). Seeds that
+    /// are infeasible for the current game (wrong arity, precedence
+    /// violation) or duplicates are silently skipped. An **empty** pool is
+    /// bit-identical to a cold solve.
+    pub seed_columns: Vec<AuditOrder>,
 }
 
 impl Default for CggsConfig {
@@ -64,6 +72,7 @@ impl Default for CggsConfig {
             oracle: OracleKind::Greedy,
             precedence: PrecedenceConstraints::none(),
             threads: 1,
+            seed_columns: Vec::new(),
         }
     }
 }
@@ -124,9 +133,21 @@ impl Cggs {
         let n = spec.n_types();
         assert_eq!(thresholds.len(), n);
 
-        // Seed Q with one feasible pure strategy (Algorithm 1 input).
+        // Seed Q with one feasible pure strategy (Algorithm 1 input), plus
+        // any warm-start columns carried over from a previous solve.
         let initial = self.initial_order(n)?;
         let mut matrix = PayoffMatrix::build_with_engine(spec, engine, vec![initial], thresholds);
+        for seed in &self.config.seed_columns {
+            if matrix.n_orders() >= self.config.max_columns {
+                break;
+            }
+            let feasible = seed.len() == n
+                && self.config.precedence.is_satisfied(seed)
+                && !matrix.orders.contains(seed);
+            if feasible {
+                matrix.push_order_with_engine(spec, engine, seed.clone(), thresholds);
+            }
+        }
         let mut iterations = 0usize;
         let mut converged = false;
 
@@ -431,6 +452,72 @@ mod tests {
         for o in &out.orders {
             assert!(precedence.is_satisfied(o), "order {o} violates precedence");
         }
+    }
+
+    #[test]
+    fn empty_seed_pool_is_bit_identical_to_cold_solve() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(32, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.0, 1.0, 1.0];
+        let cold = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
+        let warm = Cggs::new(CggsConfig {
+            seed_columns: Vec::new(),
+            ..Default::default()
+        })
+        .solve(&spec, &est, &thresholds)
+        .unwrap();
+        assert_eq!(cold.master.value.to_bits(), warm.master.value.to_bits());
+        assert_eq!(cold.orders, warm.orders);
+        assert_eq!(cold.iterations, warm.iterations);
+        assert_eq!(cold.master.p_orders, warm.master.p_orders);
+    }
+
+    #[test]
+    fn seeded_resolve_skips_pricing_work_and_matches_cold_value() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(32, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds = vec![1.0, 1.0, 1.0];
+        let cold = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
+        // Re-solve seeded with the cold incumbent basis: same optimum, and
+        // the pricing loop must not need more master iterations than cold.
+        let warm = Cggs::new(CggsConfig {
+            seed_columns: cold.orders.clone(),
+            ..Default::default()
+        })
+        .solve(&spec, &est, &thresholds)
+        .unwrap();
+        assert!(warm.converged);
+        assert!((warm.master.value - cold.master.value).abs() < 1e-9);
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn infeasible_and_duplicate_seeds_are_skipped() {
+        let spec = three_type_spec();
+        let bank = spec.sample_bank(8, 3);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let precedence = PrecedenceConstraints::new(vec![(1, 0)], 3).unwrap();
+        let cggs = Cggs::new(CggsConfig {
+            precedence: precedence.clone(),
+            seed_columns: vec![
+                AuditOrder::new(vec![0, 1, 2]).unwrap(), // violates 1-before-0
+                AuditOrder::new(vec![0, 1]).unwrap(),    // wrong arity
+                AuditOrder::new(vec![1, 0, 2]).unwrap(), // feasible
+                AuditOrder::new(vec![1, 0, 2]).unwrap(), // duplicate
+            ],
+            ..Default::default()
+        });
+        let out = cggs.solve(&spec, &est, &[1.0, 1.0, 1.0]).unwrap();
+        for o in &out.orders {
+            assert_eq!(o.len(), 3);
+            assert!(precedence.is_satisfied(o), "order {o} violates precedence");
+        }
+        assert_eq!(
+            out.orders.iter().filter(|o| o.types() == [1, 0, 2]).count(),
+            1
+        );
     }
 
     #[test]

@@ -226,6 +226,13 @@ pub struct IshmConfig {
     /// Minimal strict improvement to accept a shrink (guards against
     /// accepting float noise and guarantees termination).
     pub improvement_tol: f64,
+    /// Warm-start threshold vector: when set, the shrink search starts
+    /// from this point (clamped elementwise to the full-coverage upper
+    /// bounds) instead of from full coverage. An online re-solve passes a
+    /// vector bracketing the previous optimum so the search begins near
+    /// the incumbent and terminates after far fewer LP evaluations.
+    /// `None` is bit-identical to a cold solve.
+    pub initial_thresholds: Option<Vec<f64>>,
 }
 
 impl Default for IshmConfig {
@@ -233,6 +240,7 @@ impl Default for IshmConfig {
         Self {
             epsilon: 0.1,
             improvement_tol: 1e-9,
+            initial_thresholds: None,
         }
     }
 }
@@ -299,8 +307,24 @@ impl Ishm {
         // paper reports, e.g. 11·0.9 → 9 in Table IV).
         let floor_unit = |b: f64, t: usize| (b / costs[t]).floor().max(0.0) * costs[t];
 
-        // Ĥ initialized at full coverage (Algorithm 2, line 1).
-        let mut h: Vec<f64> = spec.threshold_upper_bounds();
+        // Ĥ initialized at full coverage (Algorithm 2, line 1), or at the
+        // caller's warm-start point clamped into [0, Ĥ].
+        let upper = spec.threshold_upper_bounds();
+        let mut h: Vec<f64> = match &self.config.initial_thresholds {
+            None => upper,
+            Some(init) => {
+                if init.len() != n {
+                    return Err(GameError::InvalidConfig(format!(
+                        "warm-start thresholds cover {} types but the game has {n}",
+                        init.len()
+                    )));
+                }
+                init.iter()
+                    .zip(&upper)
+                    .map(|(&b, &ub)| b.clamp(0.0, ub))
+                    .collect()
+            }
+        };
         let mut stats = SearchStats::default();
         let mut obj = evaluator.evaluate(&h)?;
         stats.thresholds_explored += 1;
@@ -482,6 +506,90 @@ mod tests {
         assert!(coarse.stats.thresholds_explored < fine.stats.thresholds_explored);
         // Finer grid can only help (or tie) on the objective.
         assert!(fine.value <= coarse.value + 1e-6);
+    }
+
+    #[test]
+    fn warm_start_at_full_coverage_is_bit_identical_to_cold() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let cold = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let warm = Ishm::new(IshmConfig {
+            initial_thresholds: Some(spec.threshold_upper_bounds()),
+            ..Default::default()
+        })
+        .solve(&spec, &mut e2)
+        .unwrap();
+        assert_eq!(cold.value.to_bits(), warm.value.to_bits());
+        assert_eq!(cold.thresholds, warm.thresholds);
+        assert_eq!(cold.master.p_orders, warm.master.p_orders);
+        assert_eq!(
+            cold.stats.thresholds_explored,
+            warm.stats.thresholds_explored
+        );
+    }
+
+    #[test]
+    fn warm_start_from_incumbent_matches_value_with_less_search() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let cold = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let warm = Ishm::new(IshmConfig {
+            initial_thresholds: Some(cold.thresholds.clone()),
+            ..Default::default()
+        })
+        .solve(&spec, &mut e2)
+        .unwrap();
+        assert!(
+            (warm.value - cold.value).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.value,
+            cold.value
+        );
+        assert!(
+            warm.stats.thresholds_explored <= cold.stats.thresholds_explored,
+            "warm explored {} > cold {}",
+            warm.stats.thresholds_explored,
+            cold.stats.thresholds_explored
+        );
+    }
+
+    #[test]
+    fn warm_start_is_clamped_into_the_feasible_box() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(100, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let upper = spec.threshold_upper_bounds();
+        let mut eval = ExactEvaluator::new(&spec, est);
+        let out = Ishm::new(IshmConfig {
+            initial_thresholds: Some(vec![1e9, -4.0]),
+            ..Default::default()
+        })
+        .solve(&spec, &mut eval)
+        .unwrap();
+        for (t, &b) in out.thresholds.iter().enumerate() {
+            assert!(b <= upper[t] + 1e-12 && b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn warm_start_arity_mismatch_rejected() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(50, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut eval = ExactEvaluator::new(&spec, est);
+        let bad = Ishm::new(IshmConfig {
+            initial_thresholds: Some(vec![1.0]),
+            ..Default::default()
+        });
+        assert!(bad.solve(&spec, &mut eval).is_err());
     }
 
     #[test]

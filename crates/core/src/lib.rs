@@ -107,5 +107,5 @@ pub mod prelude {
     pub use crate::quantal::QuantalResponse;
     pub use crate::scenario::{Registry, Scenario};
     pub use crate::simulation::{simulate_policy, SimulationReport};
-    pub use crate::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig};
+    pub use crate::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
 }

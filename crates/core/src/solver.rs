@@ -8,6 +8,7 @@ use crate::execute::AuditPolicy;
 use crate::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats};
 use crate::master::MasterSolution;
 use crate::model::GameSpec;
+use crate::ordering::AuditOrder;
 use serde::{Deserialize, Serialize};
 
 /// Which inner LP strategy evaluates threshold candidates.
@@ -57,6 +58,41 @@ impl Default for SolverConfig {
     }
 }
 
+/// Warm-start state carried from a previous solve into the next one: the
+/// ISHM search starts from `thresholds` (instead of full coverage) and the
+/// CGGS restricted master is seeded with `orders` (instead of one pure
+/// strategy). Both seams are individually optional and individually
+/// bit-identical to a cold solve when empty — see
+/// [`crate::ishm::IshmConfig::initial_thresholds`] and
+/// [`crate::cggs::CggsConfig::seed_columns`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// Starting threshold vector (clamped to the new game's upper bounds);
+    /// `None` starts ISHM from full coverage as usual.
+    pub thresholds: Option<Vec<f64>>,
+    /// Column pool seeding the CGGS restricted master; infeasible or
+    /// duplicate entries are skipped, and the exact inner evaluator (which
+    /// materializes every order anyway) ignores it.
+    pub orders: Vec<AuditOrder>,
+}
+
+impl WarmStart {
+    /// Warm-start state from a previously solved policy: the ISHM search
+    /// starts exactly at the incumbent thresholds (its first evaluation
+    /// reproduces the incumbent objective, so the re-solve can only match
+    /// or improve it) and the policy's support orders seed the CGGS
+    /// column pool. Callers re-solving after an *upward* workload drift
+    /// should first rescale the thresholds toward the new full-coverage
+    /// bounds (see `audit-runtime`), since the shrink search never raises
+    /// a threshold above its starting point.
+    pub fn from_policy(policy: &AuditPolicy) -> Self {
+        Self {
+            thresholds: Some(policy.thresholds.clone()),
+            orders: policy.orders.clone(),
+        }
+    }
+}
+
 /// The solved audit policy plus diagnostics.
 #[derive(Debug, Clone)]
 pub struct AuditSolution {
@@ -86,6 +122,20 @@ impl OapSolver {
     /// Solve the full OAP: ISHM over thresholds with the configured inner
     /// evaluator, returning a deployable policy.
     pub fn solve(&self, spec: &GameSpec) -> Result<AuditSolution, GameError> {
+        self.solve_warm(spec, None)
+    }
+
+    /// Solve the full OAP, optionally warm-started from a previous
+    /// solution. `None` (and an empty [`WarmStart`]) is bit-identical to
+    /// [`OapSolver::solve`]; a populated warm start begins the ISHM search
+    /// at the carried thresholds and seeds the CGGS restricted master with
+    /// the carried order columns — the cheap re-solve path the online
+    /// runtime takes when workload drift invalidates the committed policy.
+    pub fn solve_warm(
+        &self,
+        spec: &GameSpec,
+        warm: Option<&WarmStart>,
+    ) -> Result<AuditSolution, GameError> {
         spec.validate()?;
         if self.config.n_samples == 0 {
             return Err(GameError::InvalidConfig(
@@ -101,6 +151,7 @@ impl OapSolver {
         let est = DetectionEstimator::new(&working, &bank, self.config.detection);
         let ishm = Ishm::new(IshmConfig {
             epsilon: self.config.epsilon,
+            initial_thresholds: warm.and_then(|w| w.thresholds.clone()),
             ..Default::default()
         });
 
@@ -118,6 +169,7 @@ impl OapSolver {
                 est,
                 CggsConfig {
                     threads: self.config.threads,
+                    seed_columns: warm.map(|w| w.orders.clone()).unwrap_or_default(),
                     ..Default::default()
                 },
             );
@@ -234,6 +286,59 @@ mod tests {
             assert_eq!(solo.policy.thresholds, multi.policy.thresholds);
             assert_eq!(solo.policy.probs, multi.policy.probs);
         }
+    }
+
+    #[test]
+    fn empty_warm_start_is_bit_identical_to_cold_solve() {
+        let spec = random_game(&RandomGameConfig::default(), 23);
+        let cfg = SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        for inner in [InnerKind::Exact, InnerKind::Cggs] {
+            let solver = OapSolver::new(SolverConfig {
+                inner,
+                ..cfg.clone()
+            });
+            let cold = solver.solve(&spec).unwrap();
+            let warm = solver
+                .solve_warm(&spec, Some(&WarmStart::default()))
+                .unwrap();
+            assert_eq!(cold.loss.to_bits(), warm.loss.to_bits(), "{inner:?}");
+            assert_eq!(cold.policy.thresholds, warm.policy.thresholds);
+            assert_eq!(cold.policy.orders, warm.policy.orders);
+            assert_eq!(cold.policy.probs, warm.policy.probs);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_own_solution_matches_cold_objective() {
+        let spec = random_game(&RandomGameConfig::default(), 29);
+        let solver = OapSolver::new(SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            inner: InnerKind::Cggs,
+            ..Default::default()
+        });
+        let cold = solver.solve(&spec).unwrap();
+        let warm = solver
+            .solve_warm(&spec, Some(&WarmStart::from_policy(&cold.policy)))
+            .unwrap();
+        // Warm starts at the incumbent, so its first evaluation reproduces
+        // the cold optimum; further shrinks can only improve on it.
+        assert!(
+            warm.loss <= cold.loss + 1e-9,
+            "warm {} vs cold {}",
+            warm.loss,
+            cold.loss
+        );
+        assert!(
+            warm.stats.thresholds_explored <= cold.stats.thresholds_explored,
+            "warm explored {} > cold {}",
+            warm.stats.thresholds_explored,
+            cold.stats.thresholds_explored
+        );
     }
 
     #[test]

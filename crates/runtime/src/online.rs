@@ -1,0 +1,233 @@
+//! Streaming per-type distribution tracking and the drift gate.
+//!
+//! The service cannot afford to re-scan history each epoch, so it keeps
+//! two views of the observed workload per alert type: exact lifetime
+//! moments in O(1) state ([`StreamingMoments`]) and a sliding window of
+//! the most recent periods. The window drives the drift gate (KS distance
+//! of recent observations against the committed count model) and the
+//! drift refit (a fresh moment-fit Gaussian, the paper's "from historical
+//! alert logs" path applied online); the lifetime moments drive the
+//! staleness-refresh refit ([`OnlineFit::refit_lifetime`]).
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use stochastics::gof::ks_statistic;
+use stochastics::{fit_discretized_gaussian, CountDistribution, StreamingMoments};
+
+/// Configuration of the drift gate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Sliding-window length in periods. Short windows react to drift
+    /// within a seasonal cycle; long windows average it away. The gate
+    /// stays closed until the window is full.
+    pub window_periods: usize,
+    /// KS distance above which the committed model is declared broken.
+    pub ks_threshold: f64,
+    /// Minimum epochs between re-solves (the gate result is ignored while
+    /// the incumbent is younger than this).
+    pub cooldown_epochs: usize,
+    /// Force a refit + re-solve once the incumbent policy is this many
+    /// epochs old, even without drift (a max-staleness refresh,
+    /// recalibrating to the lifetime moments rather than the recent
+    /// window — see [`OnlineFit::refit_lifetime`]). `None` disables the
+    /// staleness path.
+    pub max_stale_epochs: Option<usize>,
+    /// Truncation coverage of the refit Gaussians (the paper uses 99.5%).
+    pub fit_coverage: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window_periods: 10,
+            ks_threshold: 0.25,
+            cooldown_epochs: 1,
+            max_stale_epochs: None,
+            fit_coverage: 0.995,
+        }
+    }
+}
+
+/// Per-type online distribution tracker: lifetime moments plus a sliding
+/// window of recent per-period counts.
+#[derive(Debug, Clone)]
+pub struct OnlineFit {
+    window_cap: usize,
+    /// Per type, oldest first, at most `window_cap` entries.
+    windows: Vec<Vec<u64>>,
+    lifetime: Vec<StreamingMoments>,
+    periods: usize,
+}
+
+impl OnlineFit {
+    /// A tracker over `n_types` alert types with a `window_cap`-period
+    /// sliding window.
+    pub fn new(n_types: usize, window_cap: usize) -> Self {
+        assert!(n_types > 0, "need at least one alert type");
+        assert!(window_cap > 0, "window must hold at least one period");
+        Self {
+            window_cap,
+            windows: vec![Vec::with_capacity(window_cap); n_types],
+            lifetime: vec![StreamingMoments::new(); n_types],
+            periods: 0,
+        }
+    }
+
+    /// Fold one period's alert-count vector into the tracker.
+    pub fn observe(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.windows.len(), "arity mismatch");
+        for (t, &z) in row.iter().enumerate() {
+            self.lifetime[t].push(z);
+            if self.windows[t].len() == self.window_cap {
+                self.windows[t].remove(0);
+            }
+            self.windows[t].push(z);
+        }
+        self.periods += 1;
+    }
+
+    /// Number of alert types tracked.
+    pub fn n_types(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total periods observed.
+    pub fn periods(&self) -> usize {
+        self.periods
+    }
+
+    /// Whether the sliding window has filled up (the drift gate arms only
+    /// then — KS on a half-empty window is mostly noise).
+    pub fn window_full(&self) -> bool {
+        self.periods >= self.window_cap
+    }
+
+    /// The recent-period window of type `t`, oldest first.
+    pub fn window(&self, t: usize) -> &[u64] {
+        &self.windows[t]
+    }
+
+    /// Lifetime moments of type `t`.
+    pub fn lifetime(&self, t: usize) -> &StreamingMoments {
+        &self.lifetime[t]
+    }
+
+    /// Worst-type KS distance of the recent windows against the committed
+    /// count models — the drift statistic the gate thresholds.
+    pub fn max_ks(&self, models: &[Arc<dyn CountDistribution>]) -> f64 {
+        assert_eq!(models.len(), self.windows.len(), "arity mismatch");
+        self.windows
+            .iter()
+            .zip(models)
+            .map(|(w, m)| {
+                if w.is_empty() {
+                    0.0
+                } else {
+                    ks_statistic(w, m.as_ref())
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Refit one count model per type from the recent window (moment-fit
+    /// discretized Gaussians at `coverage`, the paper's synthetic-model
+    /// family) — the **drift** path: react to what just changed.
+    pub fn refit(&self, coverage: f64) -> Vec<Arc<dyn CountDistribution>> {
+        self.windows
+            .iter()
+            .map(|w| {
+                assert!(!w.is_empty(), "cannot refit before any observation");
+                Arc::new(fit_discretized_gaussian(w, coverage)) as Arc<dyn CountDistribution>
+            })
+            .collect()
+    }
+
+    /// Refit one count model per type from the **lifetime** streaming
+    /// moments ([`stochastics::fit_gaussian_from_moments`]) — the
+    /// **staleness-refresh** path: no drift was detected, so recalibrate
+    /// to the long-run workload rather than chase the last window.
+    pub fn refit_lifetime(&self, coverage: f64) -> Vec<Arc<dyn CountDistribution>> {
+        self.lifetime
+            .iter()
+            .map(|m| {
+                assert!(m.count() > 0, "cannot refit before any observation");
+                Arc::new(stochastics::fit_gaussian_from_moments(m, coverage))
+                    as Arc<dyn CountDistribution>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochastics::{DiscretizedGaussian, Poisson};
+
+    #[test]
+    fn window_slides_and_lifetime_accumulates() {
+        let mut fit = OnlineFit::new(2, 3);
+        for i in 0..5u64 {
+            fit.observe(&[i, 10 + i]);
+        }
+        assert_eq!(fit.periods(), 5);
+        assert!(fit.window_full());
+        assert_eq!(fit.window(0), &[2, 3, 4]);
+        assert_eq!(fit.window(1), &[12, 13, 14]);
+        assert_eq!(fit.lifetime(0).count(), 5);
+        assert!((fit.lifetime(0).mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_flags_a_shifted_workload() {
+        let calm: Arc<dyn CountDistribution> = Arc::new(Poisson::new(3.0));
+        let mut fit = OnlineFit::new(1, 8);
+        // Feed counts from a much busier regime than the committed model.
+        for z in [9u64, 11, 10, 12, 9, 10, 11, 13] {
+            fit.observe(&[z]);
+        }
+        assert!(fit.max_ks(std::slice::from_ref(&calm)) > 0.5);
+        // A matching model scores low.
+        let busy: Arc<dyn CountDistribution> =
+            Arc::new(DiscretizedGaussian::with_halfwidth(10.6, 1.4, 4));
+        assert!(fit.max_ks(std::slice::from_ref(&busy)) < 0.4);
+    }
+
+    #[test]
+    fn refit_tracks_the_window_not_the_lifetime() {
+        let mut fit = OnlineFit::new(1, 4);
+        for _ in 0..20 {
+            fit.observe(&[2]);
+        }
+        for _ in 0..4 {
+            fit.observe(&[12]);
+        }
+        let models = fit.refit(0.995);
+        assert!((models[0].mean() - 12.0).abs() < 1.0);
+        // Lifetime still remembers the calm past.
+        assert!(fit.lifetime(0).mean() < 5.0);
+    }
+
+    #[test]
+    fn lifetime_refit_tracks_the_full_history() {
+        let mut fit = OnlineFit::new(1, 4);
+        for _ in 0..20 {
+            fit.observe(&[2]);
+        }
+        for _ in 0..4 {
+            fit.observe(&[12]);
+        }
+        // Window refit chases the burst; lifetime refit stays anchored to
+        // the long-run mean (20·2 + 4·12)/24 ≈ 3.67.
+        let windowed = fit.refit(0.995);
+        let lifetime = fit.refit_lifetime(0.995);
+        assert!(windowed[0].mean() > lifetime[0].mean() + 4.0);
+        assert!((lifetime[0].mean() - 88.0 / 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_is_rejected() {
+        let mut fit = OnlineFit::new(2, 4);
+        fit.observe(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,296 @@
+//! The deterministic epoch loop: execute, observe, gate, re-solve.
+//!
+//! [`AuditService`] turns a registry scenario into a long-running
+//! operational auditor. Per **period** it executes the committed
+//! [`AuditPolicy`] on the next alert vector of the scenario's stream; per
+//! **epoch** (a fixed number of periods) it evaluates the drift gate and,
+//! only when the committed count model no longer explains the recent
+//! window, refits the per-type distributions and re-solves the game —
+//! **warm-started** from the incumbent solution so the service interrupts
+//! itself as briefly as possible. Telemetry is recorded every epoch.
+//!
+//! Determinism: given the same [`RuntimeConfig`], the run is bit-identical
+//! across reruns and solver thread counts (the engine guarantees
+//! thread-invariant solves; execution randomness comes from a dedicated
+//! seed stream). Wall-clock latencies are measured but excluded from the
+//! telemetry fingerprint.
+
+use crate::online::{DriftConfig, OnlineFit};
+use crate::telemetry::{EpochTelemetry, RuntimeReport};
+use audit_game::detection::{DetectionEstimator, PalEngine};
+use audit_game::error::GameError;
+use audit_game::execute::{execute_policy, AuditPolicy, RealizedAlert};
+use audit_game::model::GameSpec;
+use audit_game::scenario::Scenario;
+use audit_game::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+use stochastics::rng::stream_rng;
+
+/// Configuration of one service run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Epochs to simulate.
+    pub epochs: usize,
+    /// Periods per epoch (the drift gate runs at epoch boundaries).
+    pub periods_per_epoch: usize,
+    /// Master seed: drives the scenario build, the alert stream, the
+    /// execution randomness, and the solver sample banks.
+    pub seed: u64,
+    /// Solver configuration for the initial solve and every re-solve.
+    pub solver: SolverConfig,
+    /// Drift gate configuration.
+    pub drift: DriftConfig,
+    /// Warm-start re-solves from the incumbent solution (`false` forces
+    /// cold re-solves; results may differ within the heuristic's
+    /// tolerance, only the search path is guaranteed cheaper warm).
+    pub warm_start: bool,
+    /// Additionally run a shadow **cold** solve at every re-solve and
+    /// record its objective/latency next to the committed warm one — the
+    /// built-in cold-vs-warm comparison behind `BENCH_runtime.json`.
+    pub compare_cold: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 24,
+            periods_per_epoch: 5,
+            seed: 0,
+            solver: SolverConfig {
+                // Column generation by default: the online path exercises
+                // both warm-start seams (ISHM start + CGGS seed columns).
+                inner: InnerKind::Cggs,
+                n_samples: 200,
+                epsilon: 0.25,
+                ..Default::default()
+            },
+            drift: DriftConfig::default(),
+            warm_start: true,
+            compare_cold: false,
+        }
+    }
+}
+
+/// Warm-start state for re-solving `new` after a drift away from `old`.
+///
+/// The incumbent's support orders seed the CGGS column pool, and the ISHM
+/// search starts from a vector **bracketing the incumbent from above**:
+/// per type, the larger of
+///
+/// * the incumbent threshold rescaled by the growth of that type's
+///   full-coverage bound (ISHM only ever shrinks, so an upward drift must
+///   raise the starting point for the new optimum to stay reachable), and
+/// * the **budget-saturation point** `B` — a per-type threshold at or
+///   above the whole period budget can never bind (audits of one type
+///   cannot outspend the total budget), so starting there is
+///   value-equivalent to the cold full-coverage start while keeping the
+///   ε-shrink lattice dense over the range where thresholds actually
+///   matter. This is what makes the warm re-solve safe: its starting
+///   objective equals the cold start's, and the search can only improve
+///   from there.
+///
+/// rounded up to the audit-cost lattice and clamped to the new coverage
+/// bounds.
+pub fn warm_start_rescaled(policy: &AuditPolicy, old: &GameSpec, new: &GameSpec) -> WarmStart {
+    let old_ub = old.threshold_upper_bounds();
+    let new_ub = new.threshold_upper_bounds();
+    let costs = new.audit_costs();
+    let thresholds = policy
+        .thresholds
+        .iter()
+        .enumerate()
+        .map(|(t, &b)| {
+            let scale = if old_ub[t] > 0.0 {
+                (new_ub[t] / old_ub[t]).max(1.0)
+            } else {
+                1.0
+            };
+            let bracket = (b * scale).max(new.budget);
+            let lattice = (bracket / costs[t]).ceil() * costs[t];
+            lattice.min(new_ub[t])
+        })
+        .collect();
+    WarmStart {
+        thresholds: Some(thresholds),
+        orders: policy.orders.clone(),
+    }
+}
+
+/// The long-running epoch-based auditing service over one scenario.
+pub struct AuditService {
+    scenario: Arc<dyn Scenario>,
+    config: RuntimeConfig,
+}
+
+impl AuditService {
+    /// Build a service over `scenario`.
+    pub fn new(scenario: Arc<dyn Scenario>, config: RuntimeConfig) -> Self {
+        assert!(config.epochs > 0, "need at least one epoch");
+        assert!(config.periods_per_epoch > 0, "need at least one period");
+        Self { scenario, config }
+    }
+
+    /// Run the full epoch loop and return the telemetry report.
+    pub fn run(&self) -> Result<RuntimeReport, GameError> {
+        let cfg = &self.config;
+        let mut spec = self.scenario.build(cfg.seed)?;
+        spec.validate()?;
+        let n = spec.n_types();
+        let solver = OapSolver::new(cfg.solver.clone());
+
+        let t0 = Instant::now();
+        let mut solution = solver.solve(&spec)?;
+        let initial_solve_millis = millis_since(t0);
+        let initial_objective = solution.loss;
+        let mut predicted = predicted_pal(&spec, &solution, &cfg.solver);
+
+        let total_periods = cfg.epochs * cfg.periods_per_epoch;
+        let stream = self.scenario.alert_stream(cfg.seed, total_periods)?;
+        let mut fit = OnlineFit::new(n, cfg.drift.window_periods);
+        let mut exec_rng = stream_rng(cfg.seed, 0x0E0C);
+        let mut next_alert_id = 0u64;
+        let mut epochs_since_resolve = 0usize;
+        let mut records = Vec::with_capacity(cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            // --- execute the committed policy, one period at a time ---
+            let mut seen = vec![0u64; n];
+            let mut audited = vec![0u64; n];
+            let mut spent = 0.0f64;
+            for period in 0..cfg.periods_per_epoch {
+                let row = &stream[epoch * cfg.periods_per_epoch + period];
+                let mut alerts = Vec::with_capacity(row.iter().map(|&z| z as usize).sum());
+                for (t, &z) in row.iter().enumerate() {
+                    seen[t] += z;
+                    for _ in 0..z {
+                        alerts.push(RealizedAlert {
+                            alert_type: t,
+                            id: next_alert_id,
+                        });
+                        next_alert_id += 1;
+                    }
+                }
+                let run = execute_policy(&solution.policy, &spec, &alerts, &mut exec_rng);
+                for (t, ids) in run.audited.iter().enumerate() {
+                    audited[t] += ids.len() as u64;
+                }
+                spent += run.spent;
+                fit.observe(row);
+            }
+            let realized_rate: Vec<f64> = seen
+                .iter()
+                .zip(&audited)
+                .map(|(&s, &a)| if s == 0 { 0.0 } else { a as f64 / s as f64 })
+                .collect();
+            let pal_gap = predicted
+                .iter()
+                .zip(&realized_rate)
+                .map(|(&p, &r)| (p - r).abs())
+                .sum::<f64>()
+                / n as f64;
+            // The record carries the prediction of the policy that was
+            // actually executed this epoch — the vector `pal_gap` was
+            // computed against — even if a re-solve below replaces it.
+            let predicted_executed = predicted.clone();
+
+            // --- drift gate ---
+            let max_ks = fit.max_ks(&spec.distributions);
+            let drift = fit.window_full() && max_ks > cfg.drift.ks_threshold;
+            let stale = cfg
+                .drift
+                .max_stale_epochs
+                .is_some_and(|m| epochs_since_resolve >= m);
+            let gate_age = epochs_since_resolve;
+            let resolve = (drift && epochs_since_resolve >= cfg.drift.cooldown_epochs) || stale;
+
+            let mut solve_explored = None;
+            let mut solve_millis = None;
+            let mut cold_objective = None;
+            let mut cold_explored = None;
+            let mut cold_millis = None;
+            if resolve {
+                let mut new_spec = spec.clone();
+                // Drift reacts to the recent window; a pure staleness
+                // refresh (gate quiet) recalibrates to the lifetime
+                // streaming moments instead.
+                new_spec.distributions = if drift {
+                    fit.refit(cfg.drift.fit_coverage)
+                } else {
+                    fit.refit_lifetime(cfg.drift.fit_coverage)
+                };
+                // The service's committed model is the refit marginals; a
+                // stale correlated sampler would contradict them.
+                new_spec.joint_counts = None;
+
+                if cfg.compare_cold {
+                    let t = Instant::now();
+                    let shadow = solver.solve(&new_spec)?;
+                    cold_millis = Some(millis_since(t));
+                    cold_objective = Some(shadow.loss);
+                    cold_explored = Some(shadow.stats.thresholds_explored);
+                }
+                let warm = warm_start_rescaled(&solution.policy, &spec, &new_spec);
+                let t = Instant::now();
+                let committed = if cfg.warm_start {
+                    solver.solve_warm(&new_spec, Some(&warm))?
+                } else {
+                    solver.solve(&new_spec)?
+                };
+                solve_millis = Some(millis_since(t));
+                solve_explored = Some(committed.stats.thresholds_explored);
+                spec = new_spec;
+                solution = committed;
+                predicted = predicted_pal(&spec, &solution, &cfg.solver);
+                epochs_since_resolve = 0;
+            } else {
+                epochs_since_resolve += 1;
+            }
+
+            records.push(EpochTelemetry {
+                epoch,
+                periods: cfg.periods_per_epoch,
+                alerts_seen: seen,
+                alerts_audited: audited,
+                mean_spent: spent / cfg.periods_per_epoch as f64,
+                realized_rate,
+                predicted_pal: predicted_executed,
+                pal_gap,
+                max_ks,
+                drift,
+                resolved: resolve,
+                epochs_since_resolve: gate_age,
+                objective: solution.loss,
+                thresholds: solution.policy.thresholds.clone(),
+                solve_explored,
+                solve_millis,
+                cold_objective,
+                cold_explored,
+                cold_millis,
+            });
+        }
+
+        Ok(RuntimeReport {
+            scenario: self.scenario.key().to_string(),
+            seed: cfg.seed,
+            periods_per_epoch: cfg.periods_per_epoch,
+            initial_objective,
+            initial_solve_millis,
+            epochs: records,
+        })
+    }
+}
+
+/// The committed policy's predicted mixture `Pal` under the spec it was
+/// solved against (evaluated on the same sample bank the solver used).
+fn predicted_pal(spec: &GameSpec, solution: &AuditSolution, cfg: &SolverConfig) -> Vec<f64> {
+    let bank = spec.sample_bank(cfg.n_samples, cfg.seed);
+    let est = DetectionEstimator::new(spec, &bank, cfg.detection);
+    let engine = PalEngine::new(est, cfg.threads);
+    solution.policy.expected_pal(&engine)
+}
+
+fn millis_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,303 @@
+//! Structured telemetry of the epoch loop.
+//!
+//! One [`EpochTelemetry`] record per epoch, collected into a
+//! [`RuntimeReport`]. Everything except wall-clock latency is
+//! deterministic given the service seed, and [`RuntimeReport::fingerprint`]
+//! hashes exactly that deterministic subset — the property suite pins
+//! "same config ⇒ same fingerprint" across reruns and thread counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Telemetry of one epoch of the service loop.
+///
+/// `objective` and `thresholds` describe the policy committed *at the end
+/// of* the epoch (i.e. after any re-solve the epoch triggered);
+/// `predicted_pal` belongs to the policy that was *executed* during the
+/// epoch (the vector `pal_gap` was computed against — on a re-solve epoch
+/// that is the superseded incumbent); `epochs_since_resolve` is the
+/// incumbent's age as seen by the drift gate, before any reset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochTelemetry {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Periods executed this epoch.
+    pub periods: usize,
+    /// Benign alerts raised per type over the epoch.
+    pub alerts_seen: Vec<u64>,
+    /// Benign alerts audited per type over the epoch.
+    pub alerts_audited: Vec<u64>,
+    /// Mean budget spent per period.
+    pub mean_spent: f64,
+    /// Realized per-type audit rate `audited/seen` (0 where none seen) —
+    /// the operational estimate of the detection probability an attack
+    /// alert of that type would have faced this epoch.
+    pub realized_rate: Vec<f64>,
+    /// The executed policy's predicted mixture `Pal` per type.
+    pub predicted_pal: Vec<f64>,
+    /// Mean absolute gap between predicted `Pal` and realized rate — the
+    /// per-epoch regret of trusting the model's detection forecast.
+    pub pal_gap: f64,
+    /// Worst-type KS distance of the recent window vs the committed model.
+    pub max_ks: f64,
+    /// Whether the drift gate tripped this epoch.
+    pub drift: bool,
+    /// Whether a re-solve was committed this epoch (drift or staleness).
+    pub resolved: bool,
+    /// Incumbent age in epochs when the gate ran.
+    pub epochs_since_resolve: usize,
+    /// Predicted loss of the committed policy.
+    pub objective: f64,
+    /// Committed per-type thresholds.
+    pub thresholds: Vec<f64>,
+    /// Threshold vectors the re-solve explored (LP evaluations), when one
+    /// ran — the deterministic cost measure of the solve.
+    pub solve_explored: Option<usize>,
+    /// Wall-clock milliseconds of the committed re-solve, when one ran.
+    /// **Excluded from the fingerprint** (nondeterministic).
+    pub solve_millis: Option<f64>,
+    /// Shadow cold solve objective (only with `compare_cold`).
+    pub cold_objective: Option<f64>,
+    /// Shadow cold solve explored count (only with `compare_cold`).
+    pub cold_explored: Option<usize>,
+    /// Shadow cold solve wall-clock milliseconds. **Excluded from the
+    /// fingerprint.**
+    pub cold_millis: Option<f64>,
+}
+
+/// The full telemetry log of one service run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Scenario key the service ran on.
+    pub scenario: String,
+    /// Service seed.
+    pub seed: u64,
+    /// Periods per epoch.
+    pub periods_per_epoch: usize,
+    /// Objective of the initial (cold) solve.
+    pub initial_objective: f64,
+    /// Wall-clock milliseconds of the initial solve. **Excluded from the
+    /// fingerprint.**
+    pub initial_solve_millis: f64,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochTelemetry>,
+}
+
+impl RuntimeReport {
+    /// Number of committed re-solves across the run.
+    pub fn resolves(&self) -> usize {
+        self.epochs.iter().filter(|e| e.resolved).count()
+    }
+
+    /// Number of epochs whose drift gate tripped.
+    pub fn drift_epochs(&self) -> usize {
+        self.epochs.iter().filter(|e| e.drift).count()
+    }
+
+    /// Total periods executed.
+    pub fn total_periods(&self) -> usize {
+        self.epochs.iter().map(|e| e.periods).sum()
+    }
+
+    /// FNV-1a fingerprint of the deterministic telemetry content.
+    ///
+    /// Covers every field of every record **except** wall-clock latency
+    /// (`*_millis`), so two runs of the same configuration — at any thread
+    /// count — hash identically, and any behavioural difference (one extra
+    /// audit, one shifted threshold, one missed drift) changes the hash.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.scenario.as_bytes());
+        h.word(self.seed);
+        h.word(self.periods_per_epoch as u64);
+        h.word(self.initial_objective.to_bits());
+        h.word(self.epochs.len() as u64);
+        for e in &self.epochs {
+            h.word(e.epoch as u64);
+            h.word(e.periods as u64);
+            for &z in &e.alerts_seen {
+                h.word(z);
+            }
+            for &z in &e.alerts_audited {
+                h.word(z);
+            }
+            h.word(e.mean_spent.to_bits());
+            for &r in &e.realized_rate {
+                h.word(r.to_bits());
+            }
+            for &p in &e.predicted_pal {
+                h.word(p.to_bits());
+            }
+            h.word(e.pal_gap.to_bits());
+            h.word(e.max_ks.to_bits());
+            h.word(e.drift as u64);
+            h.word(e.resolved as u64);
+            h.word(e.epochs_since_resolve as u64);
+            h.word(e.objective.to_bits());
+            for &b in &e.thresholds {
+                h.word(b.to_bits());
+            }
+            h.word(e.solve_explored.map(|n| n as u64 + 1).unwrap_or(0));
+            // Presence bit first: `Some(0.0)` hashes as bits 0, which a
+            // bare unwrap_or(0) would conflate with `None`.
+            h.word(e.cold_objective.is_some() as u64);
+            h.word(e.cold_objective.map(f64::to_bits).unwrap_or(0));
+            h.word(e.cold_explored.map(|n| n as u64 + 1).unwrap_or(0));
+        }
+        h.finish()
+    }
+}
+
+/// Aggregate statistics over the re-solve epochs of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolveStats {
+    /// Committed re-solves.
+    pub resolves: usize,
+    /// Mean wall-clock milliseconds of the committed re-solves.
+    pub mean_solve_millis: f64,
+    /// Mean wall-clock milliseconds of the shadow cold solves (only when
+    /// the run compared against cold).
+    pub mean_cold_millis: Option<f64>,
+    /// `mean_cold_millis / mean_solve_millis` — how much cheaper the
+    /// committed (warm) re-solve was than a cold one.
+    pub speedup: Option<f64>,
+    /// Worst `committed − cold` objective gap across re-solves; at most
+    /// ~0 when warm-starting (the warm start is value-equivalent to the
+    /// cold start, so warm can only match or beat cold).
+    pub max_objective_gap: Option<f64>,
+}
+
+impl RuntimeReport {
+    /// Aggregate the re-solve epochs, or `None` if the run never re-solved.
+    pub fn resolve_stats(&self) -> Option<ResolveStats> {
+        let resolved: Vec<&EpochTelemetry> = self.epochs.iter().filter(|e| e.resolved).collect();
+        if resolved.is_empty() {
+            return None;
+        }
+        let mean = |xs: Vec<f64>| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_solve_millis = mean(
+            resolved
+                .iter()
+                .filter_map(|e| e.solve_millis)
+                .collect::<Vec<_>>(),
+        );
+        let cold: Vec<f64> = resolved.iter().filter_map(|e| e.cold_millis).collect();
+        let mean_cold_millis = (!cold.is_empty()).then(|| mean(cold));
+        let speedup = mean_cold_millis.map(|c| c / mean_solve_millis);
+        let max_objective_gap = resolved
+            .iter()
+            .filter_map(|e| e.cold_objective.map(|c| e.objective - c))
+            .fold(None, |acc: Option<f64>, g| {
+                Some(acc.map_or(g, |a| a.max(g)))
+            });
+        Some(ResolveStats {
+            resolves: resolved.len(),
+            mean_solve_millis,
+            mean_cold_millis,
+            speedup,
+            max_objective_gap,
+        })
+    }
+}
+
+/// FNV-1a, the same construction as `GameSpec::fingerprint`.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize) -> EpochTelemetry {
+        EpochTelemetry {
+            epoch,
+            periods: 5,
+            alerts_seen: vec![10, 20],
+            alerts_audited: vec![4, 8],
+            mean_spent: 3.5,
+            realized_rate: vec![0.4, 0.4],
+            predicted_pal: vec![0.45, 0.38],
+            pal_gap: 0.035,
+            max_ks: 0.12,
+            drift: false,
+            resolved: false,
+            epochs_since_resolve: epoch,
+            objective: 7.25,
+            thresholds: vec![3.0, 2.0],
+            solve_explored: None,
+            solve_millis: None,
+            cold_objective: None,
+            cold_explored: None,
+            cold_millis: None,
+        }
+    }
+
+    fn report() -> RuntimeReport {
+        RuntimeReport {
+            scenario: "syn-seasonal".into(),
+            seed: 7,
+            periods_per_epoch: 5,
+            initial_objective: 7.25,
+            initial_solve_millis: 12.0,
+            epochs: vec![record(0), record(1)],
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_latency() {
+        let a = report();
+        let mut b = report();
+        b.initial_solve_millis = 9999.0;
+        b.epochs[1].solve_millis = Some(123.4);
+        b.epochs[1].cold_millis = Some(0.1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_behavioural_changes() {
+        let a = report();
+        for mutate in [
+            |r: &mut RuntimeReport| r.epochs[0].alerts_audited[1] += 1,
+            |r: &mut RuntimeReport| r.epochs[1].drift = true,
+            |r: &mut RuntimeReport| r.epochs[1].resolved = true,
+            |r: &mut RuntimeReport| r.epochs[0].thresholds[0] = 2.0,
+            |r: &mut RuntimeReport| r.epochs[1].solve_explored = Some(0),
+            // Some(0.0) must hash apart from None (presence bit).
+            |r: &mut RuntimeReport| r.epochs[1].cold_objective = Some(0.0),
+            |r: &mut RuntimeReport| r.seed = 8,
+        ] {
+            let mut b = report();
+            mutate(&mut b);
+            assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn counters_aggregate_records() {
+        let mut r = report();
+        r.epochs[1].resolved = true;
+        r.epochs[1].drift = true;
+        assert_eq!(r.resolves(), 1);
+        assert_eq!(r.drift_epochs(), 1);
+        assert_eq!(r.total_periods(), 10);
+    }
+}

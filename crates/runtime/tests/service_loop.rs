@@ -1,0 +1,119 @@
+//! End-to-end service-loop tests on the core registry scenarios: drift
+//! dynamics and warm-vs-cold parity on the drifting `syn-seasonal`
+//! workload, a stationary negative control, and determinism of the
+//! telemetry fingerprint across reruns and thread counts.
+
+use audit_game::scenario::registry;
+use audit_game::solver::{InnerKind, SolverConfig};
+use audit_runtime::{AuditService, DriftConfig, RuntimeConfig};
+
+fn seasonal_config() -> RuntimeConfig {
+    RuntimeConfig {
+        epochs: 24,
+        periods_per_epoch: 5,
+        seed: 0,
+        solver: SolverConfig {
+            inner: InnerKind::Cggs,
+            n_samples: 120,
+            epsilon: 0.25,
+            ..Default::default()
+        },
+        drift: DriftConfig::default(),
+        warm_start: true,
+        compare_cold: false,
+    }
+}
+
+fn run(key: &str, cfg: RuntimeConfig) -> audit_runtime::RuntimeReport {
+    let reg = registry();
+    let sc = reg.get(key).unwrap().clone();
+    AuditService::new(sc, cfg).run().unwrap()
+}
+
+#[test]
+fn seasonal_drift_triggers_warm_resolves_matching_cold_objectives() {
+    let mut cfg = seasonal_config();
+    cfg.compare_cold = true;
+    let report = run("syn-seasonal", cfg);
+
+    assert_eq!(report.epochs.len(), 24);
+    assert!(
+        report.drift_epochs() >= 1,
+        "seasonal workload never drifted"
+    );
+    assert!(report.resolves() >= 1, "drift never triggered a re-solve");
+    for e in &report.epochs {
+        assert_eq!(e.alerts_seen.len(), 3);
+        assert!(e
+            .alerts_audited
+            .iter()
+            .zip(&e.alerts_seen)
+            .all(|(a, s)| a <= s));
+        assert!(e.objective.is_finite());
+        if e.resolved {
+            let cold = e
+                .cold_objective
+                .expect("compare_cold records the shadow solve");
+            // The warm start is value-equivalent to the cold start, so the
+            // committed warm re-solve can only match or beat the cold one.
+            assert!(
+                e.objective <= cold + 1e-9,
+                "epoch {}: warm {} worse than cold {}",
+                e.epoch,
+                e.objective,
+                cold
+            );
+            assert!(e.solve_explored.is_some() && e.cold_explored.is_some());
+        } else {
+            assert!(e.cold_objective.is_none());
+        }
+    }
+}
+
+#[test]
+fn stationary_workload_stays_on_the_incumbent_policy() {
+    let mut cfg = seasonal_config();
+    cfg.epochs = 10;
+    // Generous gate: the Gaussian Syn A stream matches its own model, so
+    // the window KS stays in pure sampling-noise range.
+    cfg.drift = DriftConfig {
+        window_periods: 20,
+        ks_threshold: 0.4,
+        ..Default::default()
+    };
+    let report = run("syn-a", cfg);
+    assert_eq!(report.resolves(), 0, "stationary workload re-solved");
+    let thr0 = &report.epochs[0].thresholds;
+    assert!(report.epochs.iter().all(|e| &e.thresholds == thr0));
+}
+
+#[test]
+fn reruns_and_thread_counts_share_one_fingerprint() {
+    let base = run("syn-seasonal", seasonal_config()).fingerprint();
+    let again = run("syn-seasonal", seasonal_config()).fingerprint();
+    assert_eq!(base, again, "rerun changed the telemetry");
+    for threads in [2usize, 4] {
+        let mut cfg = seasonal_config();
+        cfg.solver.threads = threads;
+        let multi = run("syn-seasonal", cfg).fingerprint();
+        assert_eq!(base, multi, "thread count {threads} changed the telemetry");
+    }
+}
+
+#[test]
+fn staleness_bound_forces_refresh_without_drift() {
+    let mut cfg = seasonal_config();
+    cfg.epochs = 8;
+    // Gate closed (impossible KS threshold), staleness open.
+    cfg.drift = DriftConfig {
+        ks_threshold: 2.0,
+        max_stale_epochs: Some(3),
+        ..Default::default()
+    };
+    let report = run("syn-seasonal", cfg);
+    assert!(report.drift_epochs() == 0);
+    assert!(report.resolves() >= 2, "staleness refresh never fired");
+    for e in &report.epochs {
+        assert!(e.epochs_since_resolve <= 3);
+    }
+}

@@ -40,6 +40,19 @@ pub fn fit_empirical(obs: &[u64]) -> Empirical {
     Empirical::from_observations(obs)
 }
 
+/// Moment-fit a [`DiscretizedGaussian`] directly from streamed moments —
+/// the online counterpart of [`fit_discretized_gaussian`] used by the
+/// auditing runtime, which tracks [`crate::stats::StreamingMoments`]
+/// per alert type instead of materializing observation vectors.
+pub fn fit_gaussian_from_moments(
+    moments: &crate::stats::StreamingMoments,
+    coverage: f64,
+) -> DiscretizedGaussian {
+    assert!(moments.count() > 0, "need at least one observation");
+    let std = moments.sample_std().max(0.5); // keep at least one count of spread
+    DiscretizedGaussian::with_coverage(moments.mean(), std, coverage)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +89,19 @@ mod tests {
             "std {}",
             fit.gaussian_std()
         );
+    }
+
+    #[test]
+    fn moment_fit_agrees_with_batch_fit() {
+        let obs = [3u64, 5, 5, 6, 7, 7, 8, 11];
+        let mut acc = crate::stats::StreamingMoments::new();
+        for &o in &obs {
+            acc.push(o);
+        }
+        let batch = fit_discretized_gaussian(&obs, 0.995);
+        let streamed = fit_gaussian_from_moments(&acc, 0.995);
+        assert!((batch.gaussian_mean() - streamed.gaussian_mean()).abs() < 1e-12);
+        assert!((batch.gaussian_std() - streamed.gaussian_std()).abs() < 1e-12);
     }
 
     #[test]

@@ -34,5 +34,6 @@ pub use discrete::{
     Constant, CountDistribution, DiscretizedGaussian, Empirical, Mixture, Poisson, UniformCount,
     Zipf,
 };
-pub use fit::{fit_discretized_gaussian, fit_empirical};
+pub use fit::{fit_discretized_gaussian, fit_empirical, fit_gaussian_from_moments};
 pub use rng::seeded_rng;
+pub use stats::StreamingMoments;

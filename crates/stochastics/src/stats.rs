@@ -1,4 +1,64 @@
-//! Summary statistics used by the experiment harness and tests.
+//! Summary statistics used by the experiment harness and tests, plus the
+//! [`StreamingMoments`] accumulator behind the online runtime's
+//! per-alert-type distribution tracking.
+
+/// Single-pass (Welford) accumulator of count moments.
+///
+/// The online auditing runtime observes one alert-count vector per period
+/// and cannot afford to re-scan history each epoch; this accumulator keeps
+/// exact running moments in O(1) state. Updates are deterministic and
+/// order-dependent in the usual floating-point sense — the runtime always
+/// feeds observations in period order, so reruns are bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    max: u64,
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observed count into the running moments.
+    pub fn push(&mut self, x: u64) {
+        self.n += 1;
+        let xf = x as f64;
+        let delta = xf - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (xf - self.mean);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample standard deviation, with the same degenerate-sample
+    /// floor as [`crate::fit::sample_std`] so downstream Gaussian fits stay
+    /// well-defined.
+    pub fn sample_std(&self) -> f64 {
+        const FLOOR: f64 = 1e-6;
+        if self.n < 2 {
+            return FLOOR;
+        }
+        (self.m2 / (self.n - 1) as f64).sqrt().max(FLOOR)
+    }
+
+    /// Largest observation seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
 
 /// Mean of a slice of f64 values.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -112,5 +172,32 @@ mod tests {
     #[test]
     fn std_dev_of_singleton_is_zero() {
         assert_eq!(std_dev(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn streaming_moments_match_batch_statistics() {
+        let obs = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let mut acc = StreamingMoments::new();
+        for &o in &obs {
+            acc.push(o);
+        }
+        assert_eq!(acc.count(), 8);
+        assert_eq!(acc.max(), 9);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this sample is 32/7 (see fit.rs).
+        assert!((acc.sample_std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_moments_degenerate_floor() {
+        let mut acc = StreamingMoments::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert!(acc.sample_std() > 0.0);
+        acc.push(5);
+        assert!(acc.sample_std() > 0.0);
+        acc.push(5);
+        acc.push(5);
+        assert!(acc.sample_std() > 0.0 && acc.sample_std() < 1e-3);
     }
 }

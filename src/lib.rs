@@ -16,6 +16,9 @@
 //!
 //! On top of the re-exports, this crate hosts the cross-crate glue:
 //!
+//! * [`runtime`] (`audit-runtime`) — the online epoch-based auditing
+//!   service: streaming workload fits, drift-gated warm re-solving,
+//!   structured telemetry;
 //! * [`scenario`] — the full scenario registry assembling the core
 //!   synthetic families with the `emrsim` / `creditsim` / `tdmt`
 //!   workloads under string keys;
@@ -23,7 +26,10 @@
 //!   registry scenario under every solver/detection-model combination
 //!   (snapshots in `tests/golden/`);
 //! * [`json`] — the minimal JSON layer behind the snapshots (the offline
-//!   serde shim has no data format).
+//!   serde shim has no data format);
+//! * [`telemetry`] — JSON rendering of the runtime's epoch telemetry
+//!   (the `exp_online` wire format and the `BENCH_runtime.json`
+//!   artifact).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use audit_game as game;
+pub use audit_runtime as runtime;
 pub use creditsim as credit;
 pub use emrsim as emr;
 pub use lp_solver as lp;
@@ -52,6 +59,7 @@ pub use tdmt;
 pub mod conformance;
 pub mod json;
 pub mod scenario;
+pub mod telemetry;
 
 /// One-stop re-exports for application code.
 pub mod prelude {

@@ -1,0 +1,166 @@
+//! JSON rendering of the online runtime's telemetry.
+//!
+//! `audit-runtime` emits plain structs (it sits below the umbrella in the
+//! crate graph and the offline serde shim has no data format); this module
+//! projects a [`RuntimeReport`] onto the [`crate::json`] value tree so the
+//! `exp_online` driver, the CI soak step, and the `BENCH_runtime.json`
+//! artifact all share one canonical wire shape. Numbers render with
+//! shortest-roundtrip formatting, so the JSON is as deterministic as the
+//! report itself (wall-clock latency fields are the only nondeterministic
+//! content; the embedded `fingerprint` ignores them by construction).
+
+use crate::json::Value;
+use audit_runtime::{EpochTelemetry, RuntimeReport};
+
+/// Render one epoch record.
+fn epoch_to_json(e: &EpochTelemetry) -> Value {
+    let mut pairs: Vec<(&'static str, Value)> = vec![
+        ("epoch", Value::Num(e.epoch as f64)),
+        ("periods", Value::Num(e.periods as f64)),
+        (
+            "alerts_seen",
+            Value::nums(e.alerts_seen.iter().map(|&z| z as f64)),
+        ),
+        (
+            "alerts_audited",
+            Value::nums(e.alerts_audited.iter().map(|&z| z as f64)),
+        ),
+        ("mean_spent", Value::Num(e.mean_spent)),
+        (
+            "realized_rate",
+            Value::nums(e.realized_rate.iter().copied()),
+        ),
+        (
+            "predicted_pal",
+            Value::nums(e.predicted_pal.iter().copied()),
+        ),
+        ("pal_gap", Value::Num(e.pal_gap)),
+        ("max_ks", Value::Num(e.max_ks)),
+        ("drift", Value::Bool(e.drift)),
+        ("resolved", Value::Bool(e.resolved)),
+        (
+            "epochs_since_resolve",
+            Value::Num(e.epochs_since_resolve as f64),
+        ),
+        ("objective", Value::Num(e.objective)),
+        ("thresholds", Value::nums(e.thresholds.iter().copied())),
+    ];
+    let opt_num = |x: Option<f64>| x.map(Value::Num).unwrap_or(Value::Null);
+    pairs.push((
+        "solve_explored",
+        opt_num(e.solve_explored.map(|n| n as f64)),
+    ));
+    pairs.push(("solve_millis", opt_num(e.solve_millis)));
+    pairs.push(("cold_objective", opt_num(e.cold_objective)));
+    pairs.push(("cold_explored", opt_num(e.cold_explored.map(|n| n as f64))));
+    pairs.push(("cold_millis", opt_num(e.cold_millis)));
+    Value::obj(pairs)
+}
+
+/// Render the full report: run header, per-epoch records, aggregate
+/// resolve statistics, and the deterministic fingerprint (as a hex
+/// string — JSON numbers cannot carry 64 bits exactly).
+pub fn report_to_json(report: &RuntimeReport) -> Value {
+    let opt_num = |x: Option<f64>| x.map(Value::Num).unwrap_or(Value::Null);
+    let resolve_stats = match report.resolve_stats() {
+        None => Value::Null,
+        Some(s) => Value::obj([
+            ("resolves", Value::Num(s.resolves as f64)),
+            ("mean_solve_millis", Value::Num(s.mean_solve_millis)),
+            ("mean_cold_millis", opt_num(s.mean_cold_millis)),
+            ("speedup", opt_num(s.speedup)),
+            ("max_objective_gap", opt_num(s.max_objective_gap)),
+        ]),
+    };
+    Value::obj([
+        ("scenario", Value::Str(report.scenario.clone())),
+        ("seed", Value::Num(report.seed as f64)),
+        ("epochs", Value::Num(report.epochs.len() as f64)),
+        (
+            "periods_per_epoch",
+            Value::Num(report.periods_per_epoch as f64),
+        ),
+        ("total_periods", Value::Num(report.total_periods() as f64)),
+        ("initial_objective", Value::Num(report.initial_objective)),
+        (
+            "initial_solve_millis",
+            Value::Num(report.initial_solve_millis),
+        ),
+        ("resolves", Value::Num(report.resolves() as f64)),
+        ("drift_epochs", Value::Num(report.drift_epochs() as f64)),
+        ("resolve_stats", resolve_stats),
+        (
+            "fingerprint",
+            Value::Str(format!("{:016x}", report.fingerprint())),
+        ),
+        (
+            "epoch_log",
+            Value::Arr(report.epochs.iter().map(epoch_to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audit_game::scenario::registry;
+    use audit_game::solver::{InnerKind, SolverConfig};
+    use audit_runtime::{AuditService, DriftConfig, RuntimeConfig};
+
+    fn tiny_report() -> RuntimeReport {
+        let reg = registry();
+        let sc = reg.get("syn-seasonal").unwrap().clone();
+        AuditService::new(
+            sc,
+            RuntimeConfig {
+                epochs: 3,
+                periods_per_epoch: 4,
+                seed: 1,
+                solver: SolverConfig {
+                    inner: InnerKind::Cggs,
+                    n_samples: 40,
+                    epsilon: 0.5,
+                    ..Default::default()
+                },
+                drift: DriftConfig::default(),
+                warm_start: true,
+                compare_cold: false,
+            },
+        )
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn report_json_roundtrips_and_carries_the_fingerprint() {
+        let report = tiny_report();
+        let v = report_to_json(&report);
+        let text = v.render();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(
+            back.get("fingerprint").unwrap().as_str().unwrap(),
+            format!("{:016x}", report.fingerprint())
+        );
+        assert_eq!(
+            back.get("epoch_log").unwrap().as_arr().unwrap().len(),
+            report.epochs.len()
+        );
+        assert_eq!(back.get("total_periods").unwrap().as_f64().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn latency_fields_do_not_perturb_the_embedded_fingerprint() {
+        let a = tiny_report();
+        let mut b = a.clone();
+        b.initial_solve_millis = 1e6;
+        let fa = report_to_json(&a);
+        let fb = report_to_json(&b);
+        assert_eq!(
+            fa.get("fingerprint").unwrap(),
+            fb.get("fingerprint").unwrap()
+        );
+        // ... while the rendered latency itself of course differs.
+        assert_ne!(fa.render(), fb.render());
+    }
+}
