@@ -1,11 +1,15 @@
 //! P4 — the batched `Pal` engine vs the scalar reference path:
 //!
 //! * `pal_frontier`: evaluating a 24-order candidate frontier one call at a
-//!   time (scalar) vs one batch (engine, 1 and 4 workers);
+//!   time (scalar) vs one prefix-trie batch (engine, 1 and 4 workers);
+//! * `pal_sweep`: ISHM-shaped single-coordinate threshold sweeps — the
+//!   per-candidate loop vs the sorted sweep kernel;
 //! * `ishm_engine`: a full ISHM run with the memoizing engine vs the same
 //!   run with caching disabled — isolating what the estimate cache buys
 //!   the shrinking search;
-//! * `cggs_engine`: one CGGS solve, cached vs uncached engine.
+//! * `cggs_engine`: one CGGS solve, cached vs uncached engine, on the B=6
+//!   and B=20 Syn A games (the latter is the `syn-a-b20` registry fixture
+//!   tracked by `BENCH_detection.json` for best-response cost).
 //!
 //! Engine results are bit-identical to the scalar path at every thread
 //! count (enforced by `tests/detection_equivalence.rs`), so these compare
@@ -76,6 +80,53 @@ fn bench_pal_frontier(c: &mut Criterion) {
     group.bench_function("engine_batch_4_threads", |b| {
         let engine = PalEngine::uncached(est, 4);
         b.iter(|| engine.pal_batch(&queries))
+    });
+    group.finish();
+}
+
+fn bench_pal_sweep(c: &mut Criterion) {
+    let spec = syn_a_with_budget(6.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let base = vec![2.0, 2.0, 2.0, 2.0];
+    let coord = 2usize;
+    // ISHM's ratio ladder for one coordinate (ε = 0.1 from h = 7).
+    let candidates: Vec<f64> = (1..=10)
+        .map(|i| (7.0 * (1.0 - i as f64 * 0.1)).floor())
+        .collect();
+    let order = AuditOrder::identity(4);
+
+    let mut group = c.benchmark_group("pal_sweep_coord2_10_candidates");
+    group.bench_function("per_candidate_scalar", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|&v| {
+                    let mut th = base.clone();
+                    th[coord] = v;
+                    est.pal(&order, &th)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("per_candidate_engine", |b| {
+        b.iter(|| {
+            let engine = PalEngine::uncached(est, 1);
+            candidates
+                .iter()
+                .map(|&v| {
+                    let mut th = base.clone();
+                    th[coord] = v;
+                    engine.pal(&order, &th)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("sweep_kernel", |b| {
+        b.iter(|| {
+            let engine = PalEngine::uncached(est, 1);
+            engine.pal_sweep(order.types(), &base, coord, &candidates)
+        })
     });
     group.finish();
 }
@@ -162,10 +213,44 @@ fn bench_cggs_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cggs_b20(c: &mut Criterion) {
+    // The `syn-a-b20` registry fixture: Table II's game at budget 20. The
+    // best-response (greedy pricing) batches are prefix-trie fan-outs and
+    // the prefix-state cache carries each accepted extension into the next
+    // greedy step, so the cached engine's advantage here is the measured
+    // "CGGS best-response improvement" tracked by BENCH_detection.json.
+    let spec = syn_a_with_budget(20.0);
+    let bank = spec.sample_bank(SAMPLES, 0);
+    let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+    let thresholds = vec![5.0, 5.0, 5.0, 5.0];
+
+    let mut group = c.benchmark_group("cggs_syn_a_b20");
+    group.sample_size(20);
+    group.bench_function("uncached_engine", |b| {
+        let cggs = Cggs::default();
+        b.iter(|| {
+            let engine = PalEngine::uncached(est, 1);
+            cggs.solve_with_engine(&spec, &engine, &thresholds)
+                .expect("solves")
+        })
+    });
+    group.bench_function("cached_engine", |b| {
+        let cggs = Cggs::default();
+        b.iter(|| {
+            let engine = PalEngine::new(est, 1);
+            cggs.solve_with_engine(&spec, &engine, &thresholds)
+                .expect("solves")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pal_frontier,
+    bench_pal_sweep,
     bench_ishm_engine,
-    bench_cggs_engine
+    bench_cggs_engine,
+    bench_cggs_b20
 );
 criterion_main!(benches);

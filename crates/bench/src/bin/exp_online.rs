@@ -5,35 +5,28 @@
 //!
 //! ```text
 //! cargo run -p audit-bench --release --bin exp_online [epochs] [threads] \
-//!     [--scenario <key>] [--compare-cold] [--json]
+//!     [--scenario <key>] [--compare-cold] [--json] [--cache-stats]
 //! ```
 //!
 //! `--compare-cold` additionally runs a shadow cold solve at every
 //! re-solve and reports the cold-vs-warm latency and objective gap (the
 //! numbers behind `BENCH_runtime.json`); `--json` emits the full
-//! telemetry log as JSON instead of the table.
+//! telemetry log as JSON instead of the table; `--cache-stats` prints the
+//! detection engine's counters summed over the committed solves.
 
 use alert_audit::telemetry::report_to_json;
-use audit_bench::defaults::{default_threads, parse_count};
+use audit_bench::defaults::{default_threads, parse_count, render_cache_stats, take_flag};
 use audit_bench::report::{f4, Table};
 use audit_bench::scenarios::take_scenario_flag;
 use audit_game::solver::SolverConfig;
 use audit_runtime::{AuditService, RuntimeConfig};
-
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(i) = args.iter().position(|a| a == flag) {
-        args.remove(i);
-        true
-    } else {
-        false
-    }
-}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scenario_key = take_scenario_flag(&mut args).unwrap_or_else(|| "syn-seasonal".into());
     let compare_cold = take_flag(&mut args, "--compare-cold");
     let json = take_flag(&mut args, "--json");
+    let cache_stats = take_flag(&mut args, "--cache-stats");
     let epochs = parse_count(args.first().cloned(), 24);
     let threads = parse_count(args.get(1).cloned(), default_threads());
 
@@ -125,6 +118,11 @@ fn main() {
             ),
             _ => format!("re-solve latency: warm {:.1} ms", stats.mean_solve_millis),
         });
+    }
+    if cache_stats {
+        for line in render_cache_stats(&report.engine_cache).lines() {
+            summary(line.to_string());
+        }
     }
     summary(format!(
         "periods/sec: {:.1}",

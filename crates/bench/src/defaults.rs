@@ -59,6 +59,40 @@ pub fn parse_count(arg: Option<String>, default: usize) -> usize {
     n
 }
 
+/// Remove a boolean `--flag` from the CLI argument list, reporting whether
+/// it was present. Shared by the `exp_*` binaries.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Render the detection-engine counters for `--cache-stats` output: one
+/// line for the estimate cache, one for the prefix-state cache and trie
+/// evaluator. The `columns_saved` field is the headline — it counts the
+/// column passes the prefix-trie/sweep machinery avoided relative to
+/// per-query scalar evaluation, so a nonzero value proves the incremental
+/// batch path is engaged (the CI perf smoke greps for exactly that).
+pub fn render_cache_stats(stats: &audit_game::detection::CacheStats) -> String {
+    format!(
+        "engine cache: hits={} misses={} entries={} evictions={}\n\
+         engine trie: state_hits={} state_entries={} state_evictions={} \
+         columns_evaluated={} columns_saved={}",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.evictions,
+        stats.state_hits,
+        stats.state_entries,
+        stats.state_evictions,
+        stats.columns_evaluated,
+        stats.columns_saved,
+    )
+}
+
 /// Worker threads for batched `Pal` evaluation in the experiment drivers:
 /// the `AUDIT_THREADS` environment variable when set (and ≥ 1), else 1.
 /// Binaries that expose a `[threads]` CLI argument let it take precedence.

@@ -6,7 +6,7 @@
 
 use audit_game::brute_force::{solve_brute_force_with, threshold_space_size, BruteForceResult};
 use audit_game::cggs::CggsConfig;
-use audit_game::detection::{DetectionEstimator, DetectionModel, PalEngine};
+use audit_game::detection::{CacheStats, DetectionEstimator, DetectionModel, PalEngine};
 use audit_game::error::GameError;
 use audit_game::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig};
 use audit_game::model::GameSpec;
@@ -108,6 +108,21 @@ pub fn ishm_cell(
     seed: u64,
     threads: usize,
 ) -> Result<GridCell, GameError> {
+    Ok(ishm_cell_with_stats(base, budget, epsilon, use_cggs, n_samples, seed, threads)?.0)
+}
+
+/// As [`ishm_cell`], additionally returning the detection-engine counters
+/// of the run's evaluator (behind `--cache-stats` in the drivers).
+#[allow(clippy::too_many_arguments)]
+pub fn ishm_cell_with_stats(
+    base: &GameSpec,
+    budget: f64,
+    epsilon: f64,
+    use_cggs: bool,
+    n_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<(GridCell, CacheStats), GameError> {
     let mut spec = base.clone();
     spec.budget = budget;
     let bank = spec.sample_bank(n_samples, seed);
@@ -116,7 +131,7 @@ pub fn ishm_cell(
         epsilon,
         ..Default::default()
     });
-    let outcome = if use_cggs {
+    let (outcome, cache) = if use_cggs {
         let mut eval = CggsEvaluator::new(
             &spec,
             est,
@@ -125,18 +140,25 @@ pub fn ishm_cell(
                 ..Default::default()
             },
         );
-        ishm.solve(&spec, &mut eval)?
+        let outcome = ishm.solve(&spec, &mut eval)?;
+        let cache = eval.engine().cache_stats();
+        (outcome, cache)
     } else {
         let mut eval = ExactEvaluator::with_threads(&spec, est, threads);
-        ishm.solve(&spec, &mut eval)?
+        let outcome = ishm.solve(&spec, &mut eval)?;
+        let cache = eval.engine().cache_stats();
+        (outcome, cache)
     };
-    Ok(GridCell {
-        budget,
-        epsilon,
-        value: outcome.value,
-        thresholds: outcome.thresholds,
-        explored: outcome.stats.thresholds_explored,
-    })
+    Ok((
+        GridCell {
+            budget,
+            epsilon,
+            value: outcome.value,
+            thresholds: outcome.thresholds,
+            explored: outcome.stats.thresholds_explored,
+        },
+        cache,
+    ))
 }
 
 /// The full `(B, ε)` grid of Table IV (or V with `use_cggs`). Outer index:
@@ -150,12 +172,40 @@ pub fn ishm_grid(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<Vec<GridCell>>, GameError> {
-    parallel_map(budgets, |&b| {
+    Ok(ishm_grid_with_stats(base, budgets, epsilons, use_cggs, n_samples, seed, threads)?.0)
+}
+
+/// As [`ishm_grid`], additionally returning the detection-engine counters
+/// summed across every cell's evaluator.
+#[allow(clippy::too_many_arguments)]
+pub fn ishm_grid_with_stats(
+    base: &GameSpec,
+    budgets: &[f64],
+    epsilons: &[f64],
+    use_cggs: bool,
+    n_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<(Vec<Vec<GridCell>>, CacheStats), GameError> {
+    let rows = parallel_map(budgets, |&b| {
         epsilons
             .iter()
-            .map(|&e| ishm_cell(base, b, e, use_cggs, n_samples, seed, threads))
+            .map(|&e| ishm_cell_with_stats(base, b, e, use_cggs, n_samples, seed, threads))
             .collect::<Result<Vec<_>, _>>()
-    })
+    })?;
+    let mut stats = CacheStats::default();
+    let grid = rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|(cell, cache)| {
+                    stats.absorb(&cache);
+                    cell
+                })
+                .collect()
+        })
+        .collect();
+    Ok((grid, stats))
 }
 
 /// Table VI's γ precision per epsilon: `γ_ε = 1 − mean_B |Ŝ − S|/|S|`.

@@ -93,3 +93,27 @@ fn exp_online_rejects_unknown_scenario_with_key_list() {
         "error should name the bad key and list known keys:\n{stderr}"
     );
 }
+
+#[test]
+fn exp_online_cache_stats_flag_reports_engine_counters() {
+    let out = run(&["3", "1", "--scenario", "syn-seasonal", "--cache-stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("engine cache: hits=") && stdout.contains("engine trie:"),
+        "missing engine counters:\n{stdout}"
+    );
+    // The counters are deterministic (they count evaluation structure, not
+    // wall clock), so a rerun reports the same lines.
+    let again = run(&["3", "1", "--scenario", "syn-seasonal", "--cache-stats"]);
+    let a: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("engine "))
+        .collect();
+    let bs = String::from_utf8_lossy(&again.stdout).to_string();
+    let b: Vec<&str> = bs.lines().filter(|l| l.starts_with("engine ")).collect();
+    assert_eq!(a, b, "engine counters must be deterministic");
+    // Without the flag they are absent.
+    let plain = run(&["3", "1", "--scenario", "syn-seasonal"]);
+    assert!(!String::from_utf8_lossy(&plain.stdout).contains("engine cache:"));
+}

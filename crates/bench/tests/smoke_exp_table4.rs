@@ -38,3 +38,36 @@ fn exp_table4_runs_end_to_end_on_tiny_config() {
         "stderr should echo samples/threads:\n{stderr}"
     );
 }
+
+#[test]
+fn exp_table4_cache_stats_flag_reports_engine_counters() {
+    let exe = env!("CARGO_BIN_EXE_exp_table4");
+    let out = Command::new(exe)
+        .args(["2", "0.5", "40", "1", "--cache-stats"])
+        .output()
+        .expect("exp_table4 spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("engine cache: hits=") && stdout.contains("evictions="),
+        "missing cache counters:\n{stdout}"
+    );
+    // The trie line must prove column passes were shared relative to the
+    // scalar path (the CI perf smoke greps the same invariant).
+    let trie = stdout
+        .lines()
+        .find(|l| l.starts_with("engine trie:"))
+        .expect("trie counter line");
+    let saved: u64 = trie
+        .split("columns_saved=")
+        .nth(1)
+        .and_then(|s| s.trim().parse().ok())
+        .expect("columns_saved value");
+    assert!(saved > 0, "trie sharing not engaged: {trie}");
+    // Without the flag the counters must not appear.
+    let plain = Command::new(exe)
+        .args(["2", "0.5", "40", "1"])
+        .output()
+        .expect("exp_table4 spawns");
+    assert!(!String::from_utf8_lossy(&plain.stdout).contains("engine cache:"));
+}

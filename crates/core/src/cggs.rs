@@ -134,20 +134,24 @@ impl Cggs {
         assert_eq!(thresholds.len(), n);
 
         // Seed Q with one feasible pure strategy (Algorithm 1 input), plus
-        // any warm-start columns carried over from a previous solve.
+        // any warm-start columns carried over from a previous solve. The
+        // whole seed pool is built as ONE engine batch: warm-start columns
+        // overwhelmingly share prefixes (they came out of one incumbent
+        // basis), so the trie pays each shared prefix once.
         let initial = self.initial_order(n)?;
-        let mut matrix = PayoffMatrix::build_with_engine(spec, engine, vec![initial], thresholds);
+        let mut pool = vec![initial];
         for seed in &self.config.seed_columns {
-            if matrix.n_orders() >= self.config.max_columns {
+            if pool.len() >= self.config.max_columns {
                 break;
             }
             let feasible = seed.len() == n
                 && self.config.precedence.is_satisfied(seed)
-                && !matrix.orders.contains(seed);
+                && !pool.contains(seed);
             if feasible {
-                matrix.push_order_with_engine(spec, engine, seed.clone(), thresholds);
+                pool.push(seed.clone());
             }
         }
+        let mut matrix = PayoffMatrix::build_with_engine(spec, engine, pool, thresholds);
         let mut iterations = 0usize;
         let mut converged = false;
 
@@ -234,7 +238,13 @@ impl Cggs {
     /// Greedy pricing oracle (Algorithm 1, lines 4–7): repeatedly append the
     /// feasible type maximizing the marginal weighted detection mass. Each
     /// greedy step evaluates *all* candidate extensions in one batch — one
-    /// engine call per appended position instead of one per trial.
+    /// engine call per appended position instead of one per trial — and the
+    /// batch is exactly a prefix-trie fan-out: every trial extends the same
+    /// shared prefix by one type, so the engine pays one column pass per
+    /// trial plus (at most) one for the prefix extension, which the
+    /// prefix-state cache usually answers from the previous step. Whole
+    /// best-response constructions are thereby linear in trials instead of
+    /// quadratic in sequence length.
     fn greedy_column(
         &self,
         spec: &GameSpec,

@@ -19,21 +19,29 @@
 //! * [`DetectionEstimator`] — the scalar reference: one policy at a time,
 //!   one row of the bank at a time;
 //! * [`PalEngine`] — the batched engine: many `(sequence, thresholds)`
-//!   queries in one call, streamed column-by-column over the bank's
-//!   cache-friendly layout, fanned out over [`std::thread::scope`] workers
-//!   (one policy per worker at a time) and memoized across calls.
+//!   queries in one call, grouped into a **prefix trie** so shared audit
+//!   prefixes are evaluated once per batch (and carried *across* batches
+//!   by a prefix-state cache), streamed column-by-column over the bank's
+//!   compact layout, fanned out over [`std::thread::scope`] workers (one
+//!   trie subtree per worker at a time) and memoized across calls.
 //!
 //! Both paths accumulate each type's detection mass over samples in
 //! ascending sample order and per-sample budget consumption in audit-order
 //! type order, through the shared [`detection_step`] kernel — so the engine
 //! is **bit-identical** to the scalar reference at every thread count (see
-//! `tests/detection_equivalence.rs`).
+//! `tests/detection_equivalence.rs`). The engine internals live in the
+//! `engine`, `trie` and `cache` submodules; everything public is
+//! re-exported here.
+
+mod cache;
+mod engine;
+mod trie;
+
+pub use engine::{CacheStats, PalEngine, DEFAULT_PAL_CACHE_CAPACITY, DEFAULT_STATE_CACHE_BYTES};
 
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use stochastics::SampleBank;
 
 /// How the per-sample detection ratio of an attack alert is computed.
@@ -184,32 +192,34 @@ impl<'a> DetectionEstimator<'a> {
 /// the value only affects locality, never results.
 const PAL_CHUNK_ROWS: usize = 1024;
 
-/// The per-`(sample, type)` kernel shared by the scalar reference path and
-/// the batched engine: given the budget consumed by the type's predecessors
-/// within this sample, return `(detection contribution, budget consumed by
-/// this type)`.
-///
-/// Keeping this in one place is what guarantees the two paths agree
-/// *bitwise*: both perform exactly this arithmetic on exactly the same
-/// operands, and differ only in loop nesting order (row-major vs
-/// column-major), which touches no floating-point operation.
-#[inline]
-fn detection_step(
-    model: DetectionModel,
-    budget: f64,
-    c_t: f64,
-    b_t: f64,
-    thresh_cap: f64,
-    consumed: f64,
-    zt: u64,
-) -> (f64, f64) {
-    // B_t: per-type remaining audit capacity in alert units.
+/// `B_t` — the remaining per-type audit capacity in alert units, given the
+/// budget already consumed by the type's predecessors within one sample.
+/// Split out of [`detection_step`] so the engine's single-coordinate sweep
+/// kernel can compute it **once per trie node** and reuse it across every
+/// sibling threshold (the cap does not depend on the type's own `b_t`).
+#[inline(always)]
+pub(crate) fn budget_cap(budget: f64, c_t: f64, consumed: f64) -> f64 {
     let remaining = budget - consumed;
-    let bt_cap = if remaining > 0.0 {
+    if remaining > 0.0 {
         (remaining / c_t).floor().max(0.0)
     } else {
         0.0
-    };
+    }
+}
+
+/// The capped tail of [`detection_step`]: everything downstream of `B_t`.
+/// Shared by the fused per-sample kernel and the sweep kernel, so both
+/// perform exactly the same floating-point operations on exactly the same
+/// operands.
+#[inline(always)]
+pub(crate) fn detection_step_capped(
+    model: DetectionModel,
+    bt_cap: f64,
+    c_t: f64,
+    b_t: f64,
+    thresh_cap: f64,
+    zt: u64,
+) -> (f64, f64) {
     match model {
         DetectionModel::PaperApprox => {
             let n_t = bt_cap.min(thresh_cap).min(zt as f64);
@@ -242,6 +252,35 @@ fn detection_step(
     }
 }
 
+/// The per-`(sample, type)` kernel shared by the scalar reference path and
+/// the batched engine: given the budget consumed by the type's predecessors
+/// within this sample, return `(detection contribution, budget consumed by
+/// this type)`.
+///
+/// Keeping this in one place is what guarantees the two paths agree
+/// *bitwise*: both perform exactly this arithmetic on exactly the same
+/// operands, and differ only in loop nesting order (row-major vs
+/// trie-node-major), which touches no floating-point operation.
+#[inline]
+fn detection_step(
+    model: DetectionModel,
+    budget: f64,
+    c_t: f64,
+    b_t: f64,
+    thresh_cap: f64,
+    consumed: f64,
+    zt: u64,
+) -> (f64, f64) {
+    detection_step_capped(
+        model,
+        budget_cap(budget, c_t, consumed),
+        c_t,
+        b_t,
+        thresh_cap,
+        zt,
+    )
+}
+
 /// One batched detection query: evaluate `Pal` for the audit sequence
 /// `seq` (a full order or a prefix; types not in `seq` get probability 0)
 /// under per-type `thresholds`.
@@ -269,288 +308,6 @@ impl PalQuery {
             thresholds: thresholds.to_vec(),
         }
     }
-}
-
-/// Hit/miss counters of a [`PalEngine`] cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Queries answered from the cache.
-    pub hits: u64,
-    /// Queries that had to be evaluated.
-    pub misses: u64,
-    /// Estimates currently held.
-    pub entries: usize,
-    /// Times the cache was wiped after reaching capacity.
-    pub clears: u64,
-}
-
-/// Batched, parallel, memoizing `Pal` evaluator.
-///
-/// Evaluates whole frontiers of `(sequence, thresholds)` candidates in one
-/// call: cached estimates are returned immediately; the misses are fanned
-/// out over `threads` scoped workers, each sweeping the bank's column-major
-/// layout for the policies assigned to it. Work is split by *policy*, never
-/// by sample row, and each policy's accumulation runs in a fixed order — so
-/// every result is bit-identical to [`DetectionEstimator::pal`] /
-/// [`DetectionEstimator::pal_prefix`] regardless of `threads`.
-///
-/// The cache key is the audit sequence plus the **exact bit pattern** of
-/// each threshold. Coarser quantization (e.g. to the audit-unit lattice)
-/// would be unsound: the recourse formula consumes the *raw* `b_t`
-/// (`consumed += min(b_t, Z_t·C_t)`), so thresholds equal under rounding
-/// can still yield different estimates. ISHM floors its candidates onto the
-/// cost lattice anyway, so exact keying already captures all of its reuse.
-pub struct PalEngine<'a> {
-    est: DetectionEstimator<'a>,
-    threads: usize,
-    capacity: usize,
-    cache: RefCell<HashMap<PalKey, Vec<f64>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    clears: Cell<u64>,
-}
-
-/// Cache key: audit sequence + threshold bit patterns.
-type PalKey = (Vec<u16>, Vec<u64>);
-
-/// Default number of cached estimates before the cache is wiped.
-pub const DEFAULT_PAL_CACHE_CAPACITY: usize = 1 << 18;
-
-impl<'a> PalEngine<'a> {
-    /// Build a caching engine with the given worker count (`0` is treated
-    /// as `1`).
-    pub fn new(est: DetectionEstimator<'a>, threads: usize) -> Self {
-        Self::with_cache_capacity(est, threads, DEFAULT_PAL_CACHE_CAPACITY)
-    }
-
-    /// Build an engine that never caches (every query is evaluated) — used
-    /// by benchmarks to isolate the batching speedup, and by one-shot scans
-    /// like brute force whose queries never repeat.
-    pub fn uncached(est: DetectionEstimator<'a>, threads: usize) -> Self {
-        Self::with_cache_capacity(est, threads, 0)
-    }
-
-    /// Build with an explicit cache capacity (`0` disables caching). When
-    /// an insertion would exceed the capacity the cache is wiped — a crude
-    /// but O(1) bound; keys are tiny, so the default capacity is generous.
-    pub fn with_cache_capacity(
-        est: DetectionEstimator<'a>,
-        threads: usize,
-        capacity: usize,
-    ) -> Self {
-        assert!(
-            est.bank().n_types() <= u16::MAX as usize,
-            "cache key packs type indices into u16"
-        );
-        Self {
-            est,
-            threads: threads.max(1),
-            capacity,
-            cache: RefCell::new(HashMap::new()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-            clears: Cell::new(0),
-        }
-    }
-
-    /// The scalar estimator backing this engine.
-    pub fn estimator(&self) -> &DetectionEstimator<'a> {
-        &self.est
-    }
-
-    /// Worker threads used for batch evaluation.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Cache observability counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            entries: self.cache.borrow().len(),
-            clears: self.clears.get(),
-        }
-    }
-
-    /// `Pal` for one full order (cached).
-    pub fn pal(&self, order: &AuditOrder, thresholds: &[f64]) -> Vec<f64> {
-        self.pal_batch(std::slice::from_ref(&PalQuery::full(order, thresholds)))
-            .pop()
-            .expect("one query yields one result")
-    }
-
-    /// `Pal` for a prefix sequence (cached).
-    pub fn pal_prefix(&self, prefix: &[usize], thresholds: &[f64]) -> Vec<f64> {
-        self.pal_batch(std::slice::from_ref(&PalQuery::prefix(prefix, thresholds)))
-            .pop()
-            .expect("one query yields one result")
-    }
-
-    /// Evaluate a whole candidate frontier in one pass: results are aligned
-    /// with `queries`. Cached queries cost a lookup; the rest are split
-    /// contiguously across workers.
-    pub fn pal_batch(&self, queries: &[PalQuery]) -> Vec<Vec<f64>> {
-        let n_types = self.est.spec.n_types();
-        let mut seen = vec![false; n_types];
-        for q in queries {
-            assert_eq!(q.thresholds.len(), n_types, "threshold arity mismatch");
-            assert!(q.seq.len() <= n_types, "sequence longer than type set");
-            // Audit sequences must not repeat a type: the column sweep
-            // visits each type once, so a duplicate would silently diverge
-            // from the scalar path (which re-walks it) — reject instead.
-            seen.iter_mut().for_each(|s| *s = false);
-            for &t in &q.seq {
-                assert!(t < n_types, "type index {t} out of range");
-                assert!(!seen[t], "audit sequence repeats type {t}");
-                seen[t] = true;
-            }
-        }
-        let mut results: Vec<Option<Vec<f64>>> = vec![None; queries.len()];
-        let mut miss_idx: Vec<usize> = Vec::new();
-        // Keys are built once per batch and moved into the cache on insert
-        // — key construction allocates, and this path is the hot loop.
-        let mut miss_keys: Vec<PalKey> = Vec::new();
-        if self.capacity > 0 {
-            let cache = self.cache.borrow();
-            for (i, q) in queries.iter().enumerate() {
-                let key = Self::key(q);
-                match cache.get(&key) {
-                    Some(v) => results[i] = Some(v.clone()),
-                    None => {
-                        miss_idx.push(i);
-                        miss_keys.push(key);
-                    }
-                }
-            }
-            self.hits
-                .set(self.hits.get() + (queries.len() - miss_idx.len()) as u64);
-            self.misses.set(self.misses.get() + miss_idx.len() as u64);
-        } else {
-            miss_idx.extend(0..queries.len());
-        }
-
-        let computed = self.eval_misses(queries, &miss_idx);
-
-        if self.capacity > 0 && !miss_idx.is_empty() {
-            let mut cache = self.cache.borrow_mut();
-            if cache.len() + miss_idx.len() > self.capacity {
-                cache.clear();
-                self.clears.set(self.clears.get() + 1);
-            }
-            for (key, v) in miss_keys.into_iter().zip(&computed) {
-                // A single over-capacity batch stops inserting at the bound
-                // rather than overshooting it (the remainder is simply not
-                // memoized this round).
-                if cache.len() >= self.capacity {
-                    break;
-                }
-                cache.insert(key, v.clone());
-            }
-        }
-        for (i, v) in miss_idx.into_iter().zip(computed) {
-            results[i] = Some(v);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every query resolved"))
-            .collect()
-    }
-
-    /// Evaluate the missed queries, preserving `miss_idx` order.
-    fn eval_misses(&self, queries: &[PalQuery], miss_idx: &[usize]) -> Vec<Vec<f64>> {
-        if miss_idx.is_empty() {
-            return Vec::new();
-        }
-        let est = self.est; // Copy of the (Sync) borrowed estimator.
-        let workers = self.threads.min(miss_idx.len());
-        if workers <= 1 {
-            let mut consumed = Vec::new();
-            return miss_idx
-                .iter()
-                .map(|&i| {
-                    eval_columns(&est, &queries[i].seq, &queries[i].thresholds, &mut consumed)
-                })
-                .collect();
-        }
-        let per_worker = miss_idx.len().div_ceil(workers);
-        let parts: Vec<Vec<Vec<f64>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = miss_idx
-                .chunks(per_worker)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let mut consumed = Vec::new();
-                        part.iter()
-                            .map(|&i| {
-                                eval_columns(
-                                    &est,
-                                    &queries[i].seq,
-                                    &queries[i].thresholds,
-                                    &mut consumed,
-                                )
-                            })
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pal worker panicked"))
-                .collect()
-        });
-        parts.into_iter().flatten().collect()
-    }
-
-    fn key(q: &PalQuery) -> PalKey {
-        (
-            q.seq.iter().map(|&t| t as u16).collect(),
-            q.thresholds.iter().map(|b| b.to_bits()).collect(),
-        )
-    }
-}
-
-impl std::fmt::Debug for PalEngine<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PalEngine")
-            .field("threads", &self.threads)
-            .field("capacity", &self.capacity)
-            .field("stats", &self.cache_stats())
-            .finish()
-    }
-}
-
-/// Column-sweep evaluation of one query: for each type in the sequence,
-/// stream its contiguous bank column while updating the per-sample consumed
-/// budget. Accumulation order per type is ascending sample index — the same
-/// order the row-major scalar path uses — so results match it bitwise.
-fn eval_columns(
-    est: &DetectionEstimator<'_>,
-    seq: &[usize],
-    thresholds: &[f64],
-    consumed: &mut Vec<f64>,
-) -> Vec<f64> {
-    let spec = est.spec;
-    let bank = est.bank;
-    let model = est.model;
-    let n = bank.n_samples();
-    consumed.clear();
-    consumed.resize(n, 0.0);
-    let mut acc = vec![0.0f64; spec.n_types()];
-    let costs = &spec.alert_types;
-    let budget = spec.budget;
-    for &t in seq {
-        let c_t = costs[t].audit_cost;
-        let b_t = thresholds[t];
-        let thresh_cap = (b_t / c_t).floor().max(0.0);
-        let mut sum = 0.0f64;
-        for (cons, &zt) in consumed.iter_mut().zip(bank.column(t)) {
-            let (contrib, spent) = detection_step(model, budget, c_t, b_t, thresh_cap, *cons, zt);
-            sum += contrib;
-            *cons += spent;
-        }
-        acc[t] = sum / n as f64;
-    }
-    acc
 }
 
 #[cfg(test)]
@@ -734,123 +491,6 @@ mod tests {
         // With zero threshold the lone alert cannot be audited.
         let pal = est.pal(&AuditOrder::identity(1), &[0.0]);
         assert_eq!(pal[0], 0.0);
-    }
-
-    #[test]
-    fn engine_matches_scalar_bitwise() {
-        let s = spec(2.0);
-        let bank = bank_for(&s);
-        for model in [
-            DetectionModel::PaperApprox,
-            DetectionModel::AttackInclusive,
-            DetectionModel::Operational,
-        ] {
-            let est = DetectionEstimator::new(&s, &bank, model);
-            for threads in [1usize, 2, 4] {
-                let engine = PalEngine::new(est, threads);
-                for thresholds in [[1.0, 10.0], [0.0, 1.5], [2.0, 2.0]] {
-                    for order in AuditOrder::enumerate_all(2) {
-                        assert_eq!(
-                            engine.pal(&order, &thresholds),
-                            est.pal(&order, &thresholds),
-                            "model {model:?}, threads {threads}"
-                        );
-                    }
-                    assert_eq!(
-                        engine.pal_prefix(&[1], &thresholds),
-                        est.pal_prefix(&[1], &thresholds)
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn engine_batch_preserves_query_order_and_caches() {
-        let s = spec(2.0);
-        let bank = bank_for(&s);
-        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let engine = PalEngine::new(est, 2);
-        let queries = vec![
-            PalQuery::full(&AuditOrder::identity(2), &[1.0, 10.0]),
-            PalQuery::prefix(&[0], &[1.0, 10.0]),
-            PalQuery::full(&AuditOrder::new(vec![1, 0]).unwrap(), &[1.0, 10.0]),
-        ];
-        let first = engine.pal_batch(&queries);
-        assert_eq!(first.len(), 3);
-        for (q, r) in queries.iter().zip(&first) {
-            assert_eq!(r, &est.pal_prefix(&q.seq, &q.thresholds));
-        }
-        let stats = engine.cache_stats();
-        assert_eq!(stats.misses, 3);
-        assert_eq!(stats.hits, 0);
-        assert_eq!(stats.entries, 3);
-
-        // Second round: all hits, same results.
-        let second = engine.pal_batch(&queries);
-        assert_eq!(first, second);
-        let stats = engine.cache_stats();
-        assert_eq!(stats.hits, 3);
-        assert_eq!(stats.misses, 3);
-    }
-
-    #[test]
-    fn engine_cache_capacity_bounds_entries() {
-        let s = spec(2.0);
-        let bank = bank_for(&s);
-        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let engine = PalEngine::with_cache_capacity(est, 1, 2);
-        for k in 0..5u32 {
-            let b = f64::from(k);
-            engine.pal(&AuditOrder::identity(2), &[b, b]);
-        }
-        let stats = engine.cache_stats();
-        assert!(stats.entries <= 2, "entries {}", stats.entries);
-        assert!(stats.clears >= 1);
-
-        // A single batch larger than the capacity must not overshoot the
-        // bound either.
-        let engine = PalEngine::with_cache_capacity(est, 1, 2);
-        let queries: Vec<PalQuery> = (0..5u32)
-            .map(|k| PalQuery::full(&AuditOrder::identity(2), &[f64::from(k), 1.0]))
-            .collect();
-        let batch = engine.pal_batch(&queries);
-        assert_eq!(batch.len(), 5);
-        assert!(engine.cache_stats().entries <= 2);
-
-        // Uncached engine never stores anything but still answers.
-        let uncached = PalEngine::uncached(est, 1);
-        let a = uncached.pal(&AuditOrder::identity(2), &[1.0, 1.0]);
-        let b = uncached.pal(&AuditOrder::identity(2), &[1.0, 1.0]);
-        assert_eq!(a, b);
-        assert_eq!(uncached.cache_stats().entries, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "repeats type")]
-    fn engine_rejects_repeated_types_in_sequence() {
-        // A duplicated type would silently diverge from the scalar path
-        // (one column visit vs two row-walk visits), so it must panic.
-        let s = spec(2.0);
-        let bank = bank_for(&s);
-        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let engine = PalEngine::new(est, 1);
-        engine.pal_prefix(&[0, 0], &[1.0, 1.0]);
-    }
-
-    #[test]
-    fn engine_distinguishes_threshold_bit_patterns() {
-        // 1.5 vs 1.0 thresholds floor to the same audit capacity but consume
-        // different raw budget — the cache must key them apart.
-        let s = spec(2.5);
-        let bank = bank_for(&s);
-        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
-        let engine = PalEngine::new(est, 1);
-        let a = engine.pal(&AuditOrder::identity(2), &[1.0, 5.0]);
-        let b = engine.pal(&AuditOrder::identity(2), &[1.5, 5.0]);
-        assert_eq!(a, est.pal(&AuditOrder::identity(2), &[1.0, 5.0]));
-        assert_eq!(b, est.pal(&AuditOrder::identity(2), &[1.5, 5.0]));
-        assert_eq!(engine.cache_stats().entries, 2);
     }
 
     #[test]

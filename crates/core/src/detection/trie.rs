@@ -1,0 +1,217 @@
+//! Prefix trie over a batch of `Pal` queries.
+//!
+//! A batch of `(sequence, thresholds)` queries is grouped into a trie whose
+//! edges are `(type, canonical threshold bits)` pairs: two queries share a
+//! node exactly when they audit the same types in the same order under
+//! thresholds that are detection-equivalent on those types. The per-sample
+//! evaluation state after an audit prefix (the consumed-budget vector and
+//! the detection-mass sum of the last type) is a pure function of that
+//! node, so a batch of `k` sequences sharing an `l`-long prefix pays for
+//! the prefix once instead of `k` times. CGGS best-response expansion
+//! generates exactly such batches (every greedy trial extends one shared
+//! prefix), and ISHM's shrink candidates share every prefix that avoids
+//! the shrunk coordinate.
+//!
+//! **Commutative prefix folding:** for the detection models whose per-type
+//! budget consumption does not depend on the budget already consumed
+//! (paper-approx and attack-inclusive: `spent = min(b_t, Z_t·C_t)`), the
+//! consumed vector after a prefix is a *left-associated sum*
+//! `(s₁ + s₂) + s₃ + …` whose first two addends commute bitwise under
+//! IEEE 754. A node whose path swaps the first two elements of another
+//! node's path therefore carries the **identical** consumed vector and
+//! the identical last-type sum — so paths are canonicalized (first two
+//! elements sorted once the path has a strict successor, i.e. length ≥ 3)
+//! and such nodes merge outright. On a full `|T|!`-order frontier this
+//! halves the deep trie levels. The operational model's consumption *is*
+//! state-dependent, so folding is disabled there.
+//!
+//! Nodes are created parent-before-child, so ascending node id is a valid
+//! topological order — the engine relies on this when it assembles results
+//! and inserts prefix states deterministically.
+
+use super::PalQuery;
+use std::collections::HashMap;
+
+/// Cache key of an audit prefix: the types in audit order plus the
+/// canonical bit pattern of each one's threshold (first two elements
+/// sorted when folding applies). Thresholds of types *outside* the
+/// sequence cannot influence the evaluation, so they are excluded —
+/// queries differing only there share keys, nodes, and cached results.
+pub(super) type PalKey = (Vec<u16>, Vec<u64>);
+
+/// One trie node; node 0 is the root (empty prefix).
+pub(super) struct Node {
+    /// Alert type on the edge from the parent (unused for the root).
+    pub t: usize,
+    /// Representative raw threshold for the edge. All thresholds mapping
+    /// to the same canonical bits are detection-equivalent, so any
+    /// representative yields bit-identical results.
+    pub b: f64,
+    /// Prefix length.
+    pub depth: usize,
+    /// Child node ids, in first-insertion order (a folded node is listed
+    /// only under its first parent, so the trie stays a tree).
+    pub children: Vec<usize>,
+    /// Canonical path key (doubles as the prefix-state cache key).
+    pub key: PalKey,
+}
+
+/// The trie over one batch's cache misses.
+pub(super) struct QueryTrie {
+    pub nodes: Vec<Node>,
+    /// Per miss query (aligned with the `miss_idx` passed to `build`): the
+    /// node id of every position of its sequence. Result assembly reads
+    /// each position's detection-mass sum off its node.
+    pub chains: Vec<Vec<usize>>,
+}
+
+impl QueryTrie {
+    /// Group `queries[miss_idx]` into a trie. `canon` maps `(type, raw
+    /// threshold)` to the canonical bit pattern identifying the edge;
+    /// `fold_commutative` enables the first-two-swap merge (sound for the
+    /// consumption-order-independent detection models only).
+    pub fn build(
+        queries: &[PalQuery],
+        miss_idx: &[usize],
+        fold_commutative: bool,
+        canon: &dyn Fn(usize, f64) -> u64,
+    ) -> Self {
+        let mut nodes = vec![Node {
+            t: usize::MAX,
+            b: f64::NAN,
+            depth: 0,
+            children: Vec::new(),
+            key: (Vec::new(), Vec::new()),
+        }];
+        let mut by_key: HashMap<PalKey, usize> = HashMap::new();
+        let mut chains = Vec::with_capacity(miss_idx.len());
+        for &qi in miss_idx {
+            let q = &queries[qi];
+            let mut cur = 0usize;
+            let mut chain = Vec::with_capacity(q.seq.len());
+            for &t in &q.seq {
+                let bits = canon(t, q.thresholds[t]);
+                let mut key = nodes[cur].key.clone();
+                key.0.push(t as u16);
+                key.1.push(bits);
+                // Canonicalize: the first two path elements commute once
+                // the path extends beyond them. The parent's key is
+                // already canonical, so one conditional swap suffices.
+                if fold_commutative
+                    && key.0.len() >= 3
+                    && (key.0[0], key.1[0]) > (key.0[1], key.1[1])
+                {
+                    key.0.swap(0, 1);
+                    key.1.swap(0, 1);
+                }
+                cur = match by_key.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = nodes.len();
+                        nodes.push(Node {
+                            t,
+                            b: q.thresholds[t],
+                            depth: nodes[cur].depth + 1,
+                            children: Vec::new(),
+                            key: key.clone(),
+                        });
+                        nodes[cur].children.push(id);
+                        by_key.insert(key, id);
+                        id
+                    }
+                };
+                chain.push(cur);
+            }
+            chains.push(chain);
+        }
+        Self { nodes, chains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(_t: usize, b: f64) -> u64 {
+        b.to_bits()
+    }
+
+    fn trie_of(seqs: &[&[usize]], thresholds: &[f64], fold: bool) -> QueryTrie {
+        let queries: Vec<PalQuery> = seqs
+            .iter()
+            .map(|s| PalQuery::prefix(s, thresholds))
+            .collect();
+        let idx: Vec<usize> = (0..queries.len()).collect();
+        QueryTrie::build(&queries, &idx, fold, &raw)
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let trie = trie_of(&[&[0, 1, 2], &[0, 1], &[0, 2, 1]], &[1.0, 2.0, 3.0], false);
+        // Root + prefixes {0, 01, 012, 02, 021} = 6 nodes, not 1 + 3+2+3.
+        assert_eq!(trie.nodes.len(), 6);
+        // Query 1 ends on the depth-2 node of query 0's path.
+        assert_eq!(trie.chains[1], trie.chains[0][..2].to_vec());
+    }
+
+    #[test]
+    fn thresholds_outside_the_sequence_do_not_split_nodes() {
+        let a = PalQuery::prefix(&[0], &[1.0, 5.0]);
+        let b = PalQuery::prefix(&[0], &[1.0, 9.0]);
+        let trie = QueryTrie::build(&[a, b], &[0, 1], false, &raw);
+        assert_eq!(trie.nodes.len(), 2);
+        assert_eq!(trie.chains[0], trie.chains[1]);
+    }
+
+    #[test]
+    fn differing_thresholds_on_the_path_split_nodes() {
+        let a = PalQuery::prefix(&[0, 1], &[1.0, 5.0]);
+        let b = PalQuery::prefix(&[0, 1], &[1.0, 9.0]);
+        let trie = QueryTrie::build(&[a, b], &[0, 1], false, &raw);
+        // Shared node for type 0, split children for type 1.
+        assert_eq!(trie.nodes.len(), 4);
+    }
+
+    #[test]
+    fn commutative_folding_merges_first_two_swaps() {
+        let th = [1.0, 2.0, 3.0];
+        // Without folding: two full depth-3 paths (7 nodes with root).
+        let plain = trie_of(&[&[0, 1, 2], &[1, 0, 2]], &th, false);
+        assert_eq!(plain.nodes.len(), 7);
+        // With folding: [0,1,2] and [1,0,2] share their depth-3 node; the
+        // depth-1/2 nodes stay distinct (their own sums differ).
+        let folded = trie_of(&[&[0, 1, 2], &[1, 0, 2]], &th, true);
+        assert_eq!(folded.nodes.len(), 6);
+        assert_eq!(folded.chains[0][2], folded.chains[1][2]);
+        assert_ne!(folded.chains[0][1], folded.chains[1][1]);
+        // Swapping a *later* pair does not fold: [0,1,2] and [0,2,1] share
+        // only their [0] prefix (5 non-root nodes), exactly as unfolded.
+        let other = trie_of(&[&[0, 1, 2], &[0, 2, 1]], &th, true);
+        assert_eq!(other.nodes.len(), 6);
+        assert_eq!(
+            trie_of(&[&[0, 1, 2], &[0, 2, 1]], &th, false).nodes.len(),
+            6
+        );
+        assert_ne!(other.chains[0][2], other.chains[1][2]);
+    }
+
+    #[test]
+    fn folding_respects_thresholds_of_the_swapped_pair() {
+        // Same types, different threshold on a swapped element: no merge.
+        let a = PalQuery::prefix(&[0, 1, 2], &[1.0, 2.0, 3.0]);
+        let b = PalQuery::prefix(&[1, 0, 2], &[1.0, 9.0, 3.0]);
+        let trie = QueryTrie::build(&[a, b], &[0, 1], true, &raw);
+        assert_eq!(trie.nodes.len(), 7);
+    }
+
+    #[test]
+    fn node_ids_are_topologically_ordered() {
+        let th = [1.0, 2.0, 3.0, 4.0];
+        let trie = trie_of(&[&[3, 2, 1, 0], &[0, 1, 2, 3], &[3, 1]], &th, true);
+        for (id, node) in trie.nodes.iter().enumerate() {
+            for &c in &node.children {
+                assert!(c > id, "child {c} of node {id} created before parent");
+            }
+        }
+    }
+}

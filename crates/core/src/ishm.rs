@@ -18,20 +18,14 @@
 //! Tables IV and V.
 
 use crate::cggs::{Cggs, CggsConfig};
-use crate::detection::{DetectionEstimator, PalEngine};
+use crate::detection::{DetectionEstimator, PalEngine, PalQuery};
 use crate::error::GameError;
 use crate::master::{MasterSolution, MasterSolver};
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;
 use crate::payoff::PayoffMatrix;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-
-/// Memo key for a threshold vector: exact bit patterns (see the cache-key
-/// discussion on [`PalEngine`] for why bitwise is the right granularity).
-fn threshold_key(thresholds: &[f64]) -> Vec<u64> {
-    thresholds.iter().map(|b| b.to_bits()).collect()
-}
+use std::collections::{HashMap, HashSet};
 
 /// All `k`-element subsets of `0..n` in lexicographic order (the `choose`
 /// of Algorithm 2, line 4).
@@ -77,6 +71,17 @@ pub trait ThresholdEvaluator {
         &mut self,
         thresholds: &[f64],
     ) -> Result<(MasterSolution, Vec<AuditOrder>), GameError>;
+
+    /// Hint that `evaluate` is about to be called for each of `candidates`
+    /// (ISHM announces every `(level, ratio)` sweep batch this way):
+    /// implementations may evaluate the whole frontier jointly — e.g. one
+    /// prefix-trie batch over every `(order, candidate)` pair — and serve
+    /// the subsequent `evaluate` calls from their memo. Results must be
+    /// bit-identical to evaluating each candidate alone; the default
+    /// does nothing, leaving all work to `evaluate`.
+    fn prime(&mut self, _candidates: &[Vec<f64>]) -> Result<(), GameError> {
+        Ok(())
+    }
 }
 
 /// Inner evaluator that materializes **all** feasible orderings — exact but
@@ -84,10 +89,15 @@ pub trait ThresholdEvaluator {
 ///
 /// Holds a [`PalEngine`] for the whole ISHM run, so `Pal` estimates are
 /// shared across every candidate threshold vector the search revisits, and
-/// an objective memo keyed by threshold bits, so revisited candidates skip
-/// the master LP entirely. (ISHM revisits a lot: different shrink ratios
-/// floor onto the same lattice point, and each accepted improvement
-/// restarts the level-1 sweep.)
+/// an objective memo keyed by the engine's **canonical threshold class**
+/// (saturated coordinates collapse), so revisited and
+/// detection-equivalent candidates skip the master LP entirely. (ISHM
+/// revisits a lot: different shrink ratios floor onto the same lattice
+/// point, each accepted improvement restarts the level-1 sweep, and the
+/// early search shrinks thresholds that are still above the saturation
+/// point.) [`ThresholdEvaluator::prime`] evaluates a whole sweep batch as
+/// one `(order × candidate)` trie frontier, so candidates differing in a
+/// single coordinate share every audit prefix that avoids it.
 pub struct ExactEvaluator<'a> {
     spec: &'a GameSpec,
     engine: PalEngine<'a>,
@@ -136,7 +146,8 @@ impl<'a> ExactEvaluator<'a> {
 
 impl ThresholdEvaluator for ExactEvaluator<'_> {
     fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
-        if let Some(&v) = self.values.get(&threshold_key(thresholds)) {
+        let key = self.engine.threshold_class_key(thresholds);
+        if let Some(&v) = self.values.get(&key) {
             return Ok(v);
         }
         let m = PayoffMatrix::build_with_engine(
@@ -146,7 +157,7 @@ impl ThresholdEvaluator for ExactEvaluator<'_> {
             thresholds,
         );
         let v = MasterSolver::solve(self.spec, &m)?.value;
-        self.values.insert(threshold_key(thresholds), v);
+        self.values.insert(key, v);
         Ok(v)
     }
 
@@ -163,11 +174,49 @@ impl ThresholdEvaluator for ExactEvaluator<'_> {
         let sol = MasterSolver::solve(self.spec, &m)?;
         Ok((sol, m.orders))
     }
+
+    /// Evaluate a whole sweep batch jointly: every `(order, candidate)`
+    /// pair goes into **one** engine batch, so the prefix trie shares all
+    /// common audit prefixes across the frontier (ISHM's single-coordinate
+    /// candidates share every prefix avoiding the shrunk coordinate), then
+    /// one master LP per distinct candidate class lands in the memo. The
+    /// subsequent `evaluate` calls are pure memo hits — values, acceptance
+    /// decisions, and exploration counts are bit-identical to the
+    /// unprimed path.
+    fn prime(&mut self, candidates: &[Vec<f64>]) -> Result<(), GameError> {
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let fresh: Vec<Vec<f64>> = candidates
+            .iter()
+            .filter(|c| {
+                let key = self.engine.threshold_class_key(c);
+                !self.values.contains_key(&key) && seen.insert(key)
+            })
+            .cloned()
+            .collect();
+        // A lone fresh candidate gains nothing here: `evaluate` already
+        // batches all of its orders through the trie.
+        if fresh.len() > 1 {
+            let queries: Vec<PalQuery> = fresh
+                .iter()
+                .flat_map(|c| self.orders.iter().map(move |o| PalQuery::full(o, c)))
+                .collect();
+            self.engine.pal_batch(&queries);
+        }
+        for c in &fresh {
+            self.evaluate(c)?;
+        }
+        Ok(())
+    }
 }
 
 /// Inner evaluator backed by CGGS column generation (paper Table V path).
 /// Owns one [`PalEngine`] (with `config.threads` workers) for the whole
-/// run, plus the same objective memo as [`ExactEvaluator`].
+/// run, plus the same class-keyed objective memo as [`ExactEvaluator`].
+/// It keeps the default (no-op) [`ThresholdEvaluator::prime`]: column
+/// generation adapts its query stream per candidate, so cross-candidate
+/// reuse comes from the engine instead — the prefix-state cache serves
+/// every greedy trial whose prefix avoids the shrunk coordinate, and the
+/// canonical keys collapse saturated candidates outright.
 pub struct CggsEvaluator<'a> {
     spec: &'a GameSpec,
     engine: PalEngine<'a>,
@@ -195,7 +244,8 @@ impl<'a> CggsEvaluator<'a> {
 
 impl ThresholdEvaluator for CggsEvaluator<'_> {
     fn evaluate(&mut self, thresholds: &[f64]) -> Result<f64, GameError> {
-        if let Some(&v) = self.values.get(&threshold_key(thresholds)) {
+        let key = self.engine.threshold_class_key(thresholds);
+        if let Some(&v) = self.values.get(&key) {
             return Ok(v);
         }
         let v = self
@@ -203,7 +253,7 @@ impl ThresholdEvaluator for CggsEvaluator<'_> {
             .solve_with_engine(self.spec, &self.engine, thresholds)?
             .master
             .value;
-        self.values.insert(threshold_key(thresholds), v);
+        self.values.insert(key, v);
         Ok(v)
     }
 
@@ -336,19 +386,33 @@ impl Ishm {
             let mut progress = 0usize;
             for i in 1..=n_ratios {
                 let ratio = (1.0 - i as f64 * self.config.epsilon).max(0.0);
+                // Materialize this sweep's candidate vectors once (`None`
+                // where flooring absorbed the shrink — a no-op cannot
+                // improve) and announce the whole frontier to the
+                // evaluator: it may evaluate the batch jointly (shared
+                // audit prefixes, one LP per candidate class) so the
+                // sequential accept-first scan below runs on memo hits.
+                // Values, decisions, and the explored counter are
+                // bit-identical to evaluating one candidate at a time.
+                let temps: Vec<Option<Vec<f64>>> = combos
+                    .iter()
+                    .map(|combo| {
+                        let mut temp = h.clone();
+                        for &k in combo {
+                            temp[k] = floor_unit(temp[k] * ratio, k);
+                        }
+                        (temp != h).then_some(temp)
+                    })
+                    .collect();
+                let batch: Vec<Vec<f64>> = temps.iter().flatten().cloned().collect();
+                evaluator.prime(&batch)?;
                 let mut best_obj = f64::INFINITY;
                 let mut best_combo: Option<usize> = None;
-                for (j, combo) in combos.iter().enumerate() {
-                    let mut temp = h.clone();
-                    for &k in combo {
-                        temp[k] = floor_unit(temp[k] * ratio, k);
-                    }
-                    if temp == h {
-                        // Flooring absorbed the shrink entirely; skip the
-                        // no-op candidate (it cannot improve).
+                for (j, temp) in temps.iter().enumerate() {
+                    let Some(temp) = temp else {
                         continue;
-                    }
-                    let candidate = evaluator.evaluate(&temp)?;
+                    };
+                    let candidate = evaluator.evaluate(temp)?;
                     stats.thresholds_explored += 1;
                     if candidate < best_obj {
                         best_obj = candidate;

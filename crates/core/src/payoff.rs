@@ -117,9 +117,11 @@ impl PayoffMatrix {
 
     /// As [`PayoffMatrix::build`], but through the batched engine: every
     /// order's `Pal` vector is evaluated (or recalled) in a single
-    /// [`PalEngine::pal_batch`] call, so the columns share one bank pass
-    /// and are split across the engine's workers. Results are identical to
-    /// the scalar path.
+    /// [`PalEngine::pal_batch`] call, so the columns are grouped into one
+    /// prefix trie — orders sharing audit prefixes (all of them, on a full
+    /// enumeration) pay for each shared prefix once — and split across the
+    /// engine's workers by trie subtree. Results are identical to the
+    /// scalar path.
     pub fn build_with_engine(
         spec: &GameSpec,
         engine: &PalEngine<'_>,

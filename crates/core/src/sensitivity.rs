@@ -8,10 +8,13 @@
 //! `robust_audit` example use it to show how the policy's value and the
 //! deterrence frontier move with the (admittedly ad hoc) payoff settings.
 
-use crate::detection::{DetectionEstimator, DetectionModel};
+use crate::detection::{DetectionEstimator, DetectionModel, PalEngine};
 use crate::error::GameError;
 use crate::ishm::{ExactEvaluator, Ishm, IshmConfig};
+use crate::master::MasterSolver;
 use crate::model::GameSpec;
+use crate::ordering::AuditOrder;
+use crate::payoff::PayoffMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Which parameter family a sweep scales.
@@ -79,6 +82,9 @@ pub struct SensitivityConfig {
     pub n_samples: usize,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the detection engine backing each re-solve
+    /// (results are thread-count invariant).
+    pub threads: usize,
 }
 
 impl Default for SensitivityConfig {
@@ -88,6 +94,7 @@ impl Default for SensitivityConfig {
             epsilon: 0.25,
             n_samples: 300,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -104,7 +111,7 @@ pub fn sweep(
         let scaled = scale_spec(spec, parameter, scale);
         let bank = scaled.sample_bank(config.n_samples, config.seed);
         let est = DetectionEstimator::new(&scaled, &bank, DetectionModel::PaperApprox);
-        let mut eval = ExactEvaluator::new(&scaled, est);
+        let mut eval = ExactEvaluator::with_threads(&scaled, est, config.threads);
         let outcome = Ishm::new(IshmConfig {
             epsilon: config.epsilon,
             ..Default::default()
@@ -120,6 +127,57 @@ pub fn sweep(
             scale,
             loss: outcome.value,
             deterred_fraction: deterred as f64 / scaled.n_attackers().max(1) as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of a single-threshold loss curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdCurvePoint {
+    /// Threshold value substituted at the swept coordinate.
+    pub threshold: f64,
+    /// Auditor's loss (exact master LP over all orders) at that value.
+    pub loss: f64,
+}
+
+/// Loss curve along **one threshold coordinate**, all other thresholds
+/// held at `base_thresholds`: for every value in `values`, solve the exact
+/// master LP over all orders with `thresholds[coord] = value`.
+///
+/// This is the paper's missing local-sensitivity instrument ("how flat is
+/// the optimum in each coordinate?") and the direct consumer of
+/// [`PalEngine::pal_sweep`]: each order's whole candidate set is answered
+/// by one sorted single-coordinate sweep — the prefix before the swept
+/// coordinate is paid once per order, the sweep siblings share one
+/// budget-cap pass, and the saturated tail of `values` collapses into a
+/// single evaluation — so the matrix builds below are pure cache hits.
+/// Intended for small `|T|` games (all `|T|!` orders are materialized).
+pub fn threshold_curve(
+    spec: &GameSpec,
+    est: &DetectionEstimator<'_>,
+    base_thresholds: &[f64],
+    coord: usize,
+    values: &[f64],
+    threads: usize,
+) -> Result<Vec<ThresholdCurvePoint>, GameError> {
+    spec.validate()?;
+    assert!(coord < spec.n_types(), "swept coordinate out of range");
+    assert_eq!(base_thresholds.len(), spec.n_types());
+    let engine = PalEngine::new(*est, threads);
+    let orders = AuditOrder::enumerate_all(spec.n_types());
+    for order in &orders {
+        engine.pal_sweep(order.types(), base_thresholds, coord, values);
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for &value in values {
+        let mut thresholds = base_thresholds.to_vec();
+        thresholds[coord] = value;
+        let m = PayoffMatrix::build_with_engine(spec, &engine, orders.clone(), &thresholds);
+        let sol = MasterSolver::solve(spec, &m)?;
+        out.push(ThresholdCurvePoint {
+            threshold: value,
+            loss: sol.value,
         });
     }
     Ok(out)
@@ -161,6 +219,7 @@ mod tests {
             epsilon: 0.5,
             n_samples: 100,
             seed: 2,
+            threads: 1,
         };
         let curve = sweep(&s, Parameter::Reward, &cfg).unwrap();
         assert!(
@@ -177,6 +236,7 @@ mod tests {
             epsilon: 0.5,
             n_samples: 100,
             seed: 2,
+            threads: 1,
         };
         let curve = sweep(&s, Parameter::Penalty, &cfg).unwrap();
         assert!(curve[1].loss < curve[0].loss, "harsher penalties must help");
@@ -186,5 +246,25 @@ mod tests {
     #[should_panic]
     fn negative_scale_rejected() {
         scale_spec(&syn_a_with_budget(2.0), Parameter::Reward, -1.0);
+    }
+
+    #[test]
+    fn threshold_curve_matches_per_value_solves() {
+        let s = syn_a_with_budget(6.0);
+        let bank = s.sample_bank(120, 3);
+        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
+        let base = vec![3.0, 3.0, 3.0, 3.0];
+        let values = [0.0, 1.0, 2.0, 4.0, 50.0];
+        let curve = threshold_curve(&s, &est, &base, 1, &values, 2).unwrap();
+        assert_eq!(curve.len(), values.len());
+        // Reference: one exact solve per value, no sweep kernel.
+        let orders = AuditOrder::enumerate_all(4);
+        for (point, &v) in curve.iter().zip(&values) {
+            let mut th = base.clone();
+            th[1] = v;
+            let m = crate::payoff::PayoffMatrix::build(&s, &est, orders.clone(), &th);
+            let want = MasterSolver::solve(&s, &m).unwrap().value;
+            assert_eq!(point.loss.to_bits(), want.to_bits(), "value {v}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! evaluator (exact enumeration or CGGS) — the full pipeline of the paper.
 
 use crate::cggs::CggsConfig;
-use crate::detection::{DetectionEstimator, DetectionModel};
+use crate::detection::{CacheStats, DetectionEstimator, DetectionModel};
 use crate::error::GameError;
 use crate::execute::AuditPolicy;
 use crate::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats};
@@ -104,6 +104,10 @@ pub struct AuditSolution {
     pub master: MasterSolution,
     /// ISHM search counters.
     pub stats: SearchStats,
+    /// Detection-engine counters of the solve (estimate/prefix-state cache
+    /// hits, evictions, trie column passes) — the observability behind the
+    /// `--cache-stats` flag of the experiment drivers.
+    pub cache: CacheStats,
 }
 
 /// High-level OAP solver.
@@ -160,9 +164,11 @@ impl OapSolver {
             InnerKind::Cggs => false,
             InnerKind::Auto => working.n_types() <= 5,
         };
-        let outcome: IshmOutcome = if use_exact {
+        let (outcome, cache): (IshmOutcome, CacheStats) = if use_exact {
             let mut eval = ExactEvaluator::with_threads(&working, est, self.config.threads);
-            ishm.solve(&working, &mut eval)?
+            let outcome = ishm.solve(&working, &mut eval)?;
+            let cache = eval.engine().cache_stats();
+            (outcome, cache)
         } else {
             let mut eval = CggsEvaluator::new(
                 &working,
@@ -173,7 +179,9 @@ impl OapSolver {
                     ..Default::default()
                 },
             );
-            ishm.solve(&working, &mut eval)?
+            let outcome = ishm.solve(&working, &mut eval)?;
+            let cache = eval.engine().cache_stats();
+            (outcome, cache)
         };
 
         let policy = AuditPolicy::new(
@@ -186,6 +194,7 @@ impl OapSolver {
             loss: outcome.value,
             master: outcome.master,
             stats: outcome.stats,
+            cache,
         })
     }
 }

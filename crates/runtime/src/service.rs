@@ -143,6 +143,7 @@ impl AuditService {
         let t0 = Instant::now();
         let mut solution = solver.solve(&spec)?;
         let initial_solve_millis = millis_since(t0);
+        let mut engine_cache = solution.cache;
         let initial_objective = solution.loss;
         let mut predicted = predicted_pal(&spec, &solution, &cfg.solver);
 
@@ -240,6 +241,7 @@ impl AuditService {
                 };
                 solve_millis = Some(millis_since(t));
                 solve_explored = Some(committed.stats.thresholds_explored);
+                engine_cache.absorb(&committed.cache);
                 spec = new_spec;
                 solution = committed;
                 predicted = predicted_pal(&spec, &solution, &cfg.solver);
@@ -277,6 +279,7 @@ impl AuditService {
             periods_per_epoch: cfg.periods_per_epoch,
             initial_objective,
             initial_solve_millis,
+            engine_cache,
             epochs: records,
         })
     }

@@ -6,6 +6,7 @@
 //! hashes exactly that deterministic subset — the property suite pins
 //! "same config ⇒ same fingerprint" across reruns and thread counts.
 
+use audit_game::detection::CacheStats;
 use serde::{Deserialize, Serialize};
 
 /// Telemetry of one epoch of the service loop.
@@ -78,6 +79,13 @@ pub struct RuntimeReport {
     /// Wall-clock milliseconds of the initial solve. **Excluded from the
     /// fingerprint.**
     pub initial_solve_millis: f64,
+    /// Detection-engine counters summed over the initial solve and every
+    /// *committed* re-solve (shadow cold solves are excluded) — the
+    /// observability behind `exp_online --cache-stats`. Deterministic, but
+    /// **excluded from the fingerprint**: the fingerprint pins observable
+    /// behaviour (policies, audits, objectives), not evaluator internals,
+    /// so engine tuning cannot shift recorded fingerprints.
+    pub engine_cache: CacheStats,
     /// Per-epoch records.
     pub epochs: Vec<EpochTelemetry>,
 }
@@ -258,6 +266,7 @@ mod tests {
             periods_per_epoch: 5,
             initial_objective: 7.25,
             initial_solve_millis: 12.0,
+            engine_cache: CacheStats::default(),
             epochs: vec![record(0), record(1)],
         }
     }

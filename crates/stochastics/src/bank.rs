@@ -48,6 +48,14 @@ pub trait JointCountModel: Send + Sync {
 /// instead of striding through every row. The duplication costs
 /// `8·|T|·S` bytes (a few hundred KB at experiment scale) and buys the
 /// dominant hot loop sequential memory access.
+///
+/// When every count fits in 32 bits (validated once at build time — true
+/// for every realistic alert workload), a **compact `u32` mirror** of the
+/// column-major layout is kept as well ([`SampleBank::compact_column`]):
+/// the hot columns the detection engine streams then occupy half the
+/// footprint. Counts widen back to `u64` before any arithmetic, so the
+/// compact path is bit-identical to the wide one; banks with counts above
+/// `u32::MAX` simply fall back to the `u64` columns.
 #[derive(Debug, Clone)]
 pub struct SampleBank {
     n_types: usize,
@@ -56,6 +64,8 @@ pub struct SampleBank {
     data: Vec<u64>,
     /// Column-major `n_types × n_samples` mirror of `data`.
     cols: Vec<u64>,
+    /// Compact column-major mirror, present when all counts fit in `u32`.
+    cols32: Option<Vec<u32>>,
 }
 
 /// A contiguous block of bank rows (samples `start..start + len`).
@@ -171,11 +181,18 @@ impl SampleBank {
                 cols[t * n_samples + s] = z;
             }
         }
+        // Validate once whether the compact mirror is exact; counts beyond
+        // u32 (never seen in practice) keep the u64 fallback.
+        let cols32 = cols
+            .iter()
+            .map(|&z| u32::try_from(z).ok())
+            .collect::<Option<Vec<u32>>>();
         Self {
             n_types,
             n_samples,
             data,
             cols,
+            cols32,
         }
     }
 
@@ -207,6 +224,24 @@ impl SampleBank {
     pub fn column(&self, t: usize) -> &[u64] {
         assert!(t < self.n_types, "type index out of range");
         &self.cols[t * self.n_samples..(t + 1) * self.n_samples]
+    }
+
+    /// The compact (`u32`) mirror of [`SampleBank::column`], or `None`
+    /// when some count exceeds `u32::MAX` and the bank fell back to the
+    /// wide columns. Values are bit-equal after widening, so consumers can
+    /// prefer this layout for half the memory traffic without changing any
+    /// result.
+    #[inline]
+    pub fn compact_column(&self, t: usize) -> Option<&[u32]> {
+        assert!(t < self.n_types, "type index out of range");
+        self.cols32
+            .as_ref()
+            .map(|c| &c[t * self.n_samples..(t + 1) * self.n_samples])
+    }
+
+    /// Whether the compact `u32` column mirror is present (all counts fit).
+    pub fn has_compact_columns(&self) -> bool {
+        self.cols32.is_some()
     }
 
     /// Split the bank into contiguous row blocks of (at most) `chunk_rows`
@@ -351,6 +386,30 @@ mod tests {
                 assert_eq!(z, bank.row(s)[t], "mismatch at ({s}, {t})");
             }
         }
+    }
+
+    #[test]
+    fn compact_columns_mirror_wide_columns() {
+        let bank = SampleBank::generate(&dists(), 137, 42);
+        assert!(bank.has_compact_columns());
+        for t in 0..bank.n_types() {
+            let wide = bank.column(t);
+            let compact = bank.compact_column(t).expect("small counts fit u32");
+            assert_eq!(compact.len(), wide.len());
+            for (&c, &w) in compact.iter().zip(wide) {
+                assert_eq!(u64::from(c), w);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_counts_fall_back_to_wide_columns() {
+        let big = u64::from(u32::MAX) + 7;
+        let bank = SampleBank::from_rows(vec![vec![1, big], vec![2, 3]]);
+        assert!(!bank.has_compact_columns());
+        assert_eq!(bank.compact_column(0), None);
+        assert_eq!(bank.compact_column(1), None);
+        assert_eq!(bank.column(1), &[big, 3]);
     }
 
     #[test]

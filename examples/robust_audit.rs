@@ -103,6 +103,7 @@ fn main() {
                 epsilon: 0.25,
                 n_samples: 300,
                 seed: 11,
+                threads: 1,
             },
         )
         .expect("sweep solves");

@@ -90,6 +90,33 @@ pub fn report_to_json(report: &RuntimeReport) -> Value {
         ("drift_epochs", Value::Num(report.drift_epochs() as f64)),
         ("resolve_stats", resolve_stats),
         (
+            "engine_cache",
+            Value::obj([
+                ("hits", Value::Num(report.engine_cache.hits as f64)),
+                ("misses", Value::Num(report.engine_cache.misses as f64)),
+                (
+                    "evictions",
+                    Value::Num(report.engine_cache.evictions as f64),
+                ),
+                (
+                    "state_hits",
+                    Value::Num(report.engine_cache.state_hits as f64),
+                ),
+                (
+                    "state_evictions",
+                    Value::Num(report.engine_cache.state_evictions as f64),
+                ),
+                (
+                    "columns_evaluated",
+                    Value::Num(report.engine_cache.columns_evaluated as f64),
+                ),
+                (
+                    "columns_saved",
+                    Value::Num(report.engine_cache.columns_saved as f64),
+                ),
+            ]),
+        ),
+        (
             "fingerprint",
             Value::Str(format!("{:016x}", report.fingerprint())),
         ),

@@ -2,15 +2,20 @@
 //! `pal` path.
 //!
 //! The engine promises more than statistical agreement: because work is
-//! split by policy (never by sample row) and each policy accumulates in a
-//! fixed order through the shared per-sample kernel, its results are
-//! **bit-identical** to `DetectionEstimator::pal` / `pal_prefix` for every
-//! query, at every thread count. These tests enforce exact `==` on the
-//! returned `f64` vectors — no tolerances anywhere.
+//! split by trie subtree (never by sample row) and every prefix
+//! accumulates in a fixed order through the shared per-sample kernel, its
+//! results are **bit-identical** to `DetectionEstimator::pal` /
+//! `pal_prefix` for every query, at every thread count — including
+//! everything the incremental layers reorganize: prefix-trie sharing,
+//! commutative path folding, cross-batch prefix states, saturation
+//! classing, single-coordinate sweeps, and the compact `u32` column
+//! mirror. These tests enforce exact `==` on the returned `f64` vectors —
+//! no tolerances anywhere.
 
 use alert_audit::game::datasets::{random_game, RandomGameConfig};
 use alert_audit::game::detection::{DetectionEstimator, DetectionModel, PalEngine, PalQuery};
 use alert_audit::game::ordering::AuditOrder;
+use stochastics::SampleBank;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const MODELS: [DetectionModel; 3] = [
@@ -119,6 +124,204 @@ fn batch_results_are_independent_of_thread_count() {
             reference,
             "threads {threads} diverged"
         );
+    }
+}
+
+/// A small deterministic policy set for games too large to enumerate all
+/// `|T|!` orders: the identity order, its reverse, every rotation of the
+/// identity, plus every prefix of the first three. Rotations guarantee
+/// each type appears in the lead position (exercising trie roots) and the
+/// prefixes exercise partial sequences.
+fn probe_queries(n_types: usize, thresholds: &[f64]) -> Vec<PalQuery> {
+    let identity: Vec<usize> = (0..n_types).collect();
+    let reverse: Vec<usize> = identity.iter().rev().copied().collect();
+    let mut seqs: Vec<Vec<usize>> = vec![identity.clone(), reverse];
+    for r in 1..n_types {
+        let mut rot = identity.clone();
+        rot.rotate_left(r);
+        seqs.push(rot);
+    }
+    let mut queries = Vec::new();
+    for seq in seqs.iter().take(3) {
+        for len in 0..=seq.len() {
+            queries.push(PalQuery::prefix(&seq[..len], thresholds));
+        }
+    }
+    for seq in seqs.iter().skip(3) {
+        queries.push(PalQuery::prefix(seq, thresholds));
+    }
+    queries
+}
+
+#[test]
+fn trie_batch_matches_scalar_on_all_registry_scenarios() {
+    // The full cross-solver net runs on every scenario in the registry:
+    // real-data shapes (mixed audit costs, empirical count models, joint
+    // correlated samplers) exercise every branch of the trie evaluator —
+    // folding on/off, saturation classing with bank-max below the support
+    // max, compact vs wide columns.
+    let reg = alert_audit::scenario::registry();
+    for sc in reg.iter() {
+        let spec = sc.build_small(7).expect("scenario builds");
+        let bank = spec.sample_bank(32, 11);
+        let n = spec.n_types();
+        let upper = spec.threshold_upper_bounds();
+        let grids: Vec<Vec<f64>> = vec![
+            upper.iter().map(|&u| (u * 0.4).floor()).collect(),
+            upper
+                .iter()
+                .enumerate()
+                .map(|(t, &u)| if t % 2 == 0 { 0.0 } else { u * 2.0 })
+                .collect(),
+            upper.iter().map(|&u| (u * 0.75).floor() + 0.5).collect(),
+        ];
+        for model in MODELS {
+            let est = DetectionEstimator::new(&spec, &bank, model);
+            for threads in THREAD_COUNTS {
+                let engine = PalEngine::new(est, threads);
+                for thresholds in &grids {
+                    let queries = probe_queries(n, thresholds);
+                    let batch = engine.pal_batch(&queries);
+                    for (q, got) in queries.iter().zip(&batch) {
+                        assert_eq!(
+                            got,
+                            &est.pal_prefix(&q.seq, &q.thresholds),
+                            "scenario {}, model {model:?}, threads {threads}, seq {:?}",
+                            sc.key(),
+                            q.seq
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_per_candidate_loop_on_random_games() {
+    for seed in 0..6u64 {
+        let n_types = 2 + (seed % 3) as usize;
+        let spec = random_game(&cfg(n_types, 4.0 + seed as f64), seed);
+        let bank = spec.sample_bank(64, seed);
+        // Candidate grid mixing duplicates, fractional values, zero, and a
+        // saturated tail.
+        let candidates: Vec<f64> = vec![0.0, 1.0, 2.5, 1.0, 0.75, 40.0, 4.0, 40.0];
+        for model in MODELS {
+            let est = DetectionEstimator::new(&spec, &bank, model);
+            for threads in THREAD_COUNTS {
+                let engine = PalEngine::new(est, threads);
+                for base in threshold_grids(n_types, seed) {
+                    for order in AuditOrder::enumerate_all(n_types).iter().take(3) {
+                        for coord in 0..n_types {
+                            let swept = engine.pal_sweep(order.types(), &base, coord, &candidates);
+                            for (&v, got) in candidates.iter().zip(&swept) {
+                                let mut th = base.clone();
+                                th[coord] = v;
+                                assert_eq!(
+                                    got,
+                                    &est.pal(order, &th),
+                                    "seed {seed}, model {model:?}, threads {threads}, \
+                                     coord {coord}, v {v}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compact_and_wide_columns_are_bit_identical() {
+    // A bank with a count beyond u32 falls back to the wide (u64) columns;
+    // the same rows with the count clamped into range keep the compact
+    // mirror. Both paths must agree with the scalar reference exactly.
+    let spec = random_game(&cfg(2, 5.0), 3);
+    let rows_small: Vec<Vec<u64>> = vec![vec![2, 3], vec![0, 7], vec![5, 1], vec![4, 4]];
+    let mut rows_big = rows_small.clone();
+    rows_big[2][0] = u64::from(u32::MAX) + 9;
+    let compact = SampleBank::from_rows(rows_small);
+    let wide = SampleBank::from_rows(rows_big);
+    assert!(compact.has_compact_columns());
+    assert!(!wide.has_compact_columns());
+    for bank in [&compact, &wide] {
+        for model in MODELS {
+            let est = DetectionEstimator::new(&spec, bank, model);
+            for threads in THREAD_COUNTS {
+                let engine = PalEngine::new(est, threads);
+                let queries = probe_queries(2, &[1.5, 6.0]);
+                let batch = engine.pal_batch(&queries);
+                for (q, got) in queries.iter().zip(&batch) {
+                    assert_eq!(
+                        got,
+                        &est.pal_prefix(&q.seq, &q.thresholds),
+                        "compact={}, model {model:?}, threads {threads}",
+                        bank.has_compact_columns()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_batch_prefix_states_replay_scalar_results() {
+    // Drive the engine the way CGGS does — prefix trials, then their
+    // extensions, across several calls — and then the way ISHM does —
+    // single-coordinate perturbed full frontiers — asserting exact
+    // equality throughout, so the prefix-state cache can never leak an
+    // approximation.
+    let spec = random_game(&cfg(4, 6.0), 21);
+    let bank = spec.sample_bank(128, 2);
+    for model in MODELS {
+        let est = DetectionEstimator::new(&spec, &bank, model);
+        let engine = PalEngine::new(est, 2);
+        let base = vec![2.0, 3.0, 1.5, 4.0];
+        // CGGS shape: greedy prefix growth.
+        let mut prefix: Vec<usize> = Vec::new();
+        for t in [2usize, 0, 3, 1] {
+            let trials: Vec<PalQuery> = (0..4)
+                .filter(|x| !prefix.contains(x))
+                .map(|x| {
+                    let mut s = prefix.clone();
+                    s.push(x);
+                    PalQuery::prefix(&s, &base)
+                })
+                .collect();
+            for (q, got) in trials.iter().zip(engine.pal_batch(&trials)) {
+                assert_eq!(
+                    got,
+                    est.pal_prefix(&q.seq, &q.thresholds),
+                    "model {model:?}"
+                );
+            }
+            prefix.push(t);
+        }
+        // ISHM shape: coordinate-perturbed frontiers over all orders.
+        for coord in 0..4 {
+            for shrink in [0.9, 0.5, 0.0] {
+                let mut th = base.clone();
+                th[coord] = (th[coord] * shrink).floor();
+                let queries: Vec<PalQuery> = AuditOrder::enumerate_all(4)
+                    .iter()
+                    .map(|o| PalQuery::full(o, &th))
+                    .collect();
+                for (q, got) in queries.iter().zip(engine.pal_batch(&queries)) {
+                    assert_eq!(
+                        got,
+                        est.pal_prefix(&q.seq, &q.thresholds),
+                        "model {model:?}, coord {coord}, shrink {shrink}"
+                    );
+                }
+            }
+        }
+        let stats = engine.cache_stats();
+        assert!(
+            stats.state_hits > 0,
+            "prefix states never engaged: {stats:?}"
+        );
+        assert!(stats.columns_saved > 0);
     }
 }
 
