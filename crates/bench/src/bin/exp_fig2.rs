@@ -6,24 +6,20 @@
 //! cargo run -p audit-bench --release --bin exp_fig2 [budgets] [samples] [repeats] [threads] [--scenario <key>]
 //! ```
 
+use audit_bench::cli::{default_threads, parse_count, parse_list, take_scenario_flag};
 use audit_bench::defaults::{
-    default_threads, parse_count, FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS,
-    REAL_SAMPLES, SEED,
+    FIG_EPSILONS, RANDOM_ORDER_SAMPLES, RANDOM_THRESHOLD_REPEATS, REAL_SAMPLES, SEED,
 };
 use audit_bench::real_experiments::{budget_sweep, render_figure, SweepConfig};
-use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
+use audit_bench::scenarios::resolve_base_spec;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scenario = take_scenario_flag(&mut args);
-    let budgets: Vec<f64> = args
-        .first()
-        .map(|s| {
-            s.split(',')
-                .map(|x| x.parse().expect("numeric list"))
-                .collect()
-        })
-        .unwrap_or_else(audit_bench::defaults::fig2_budgets);
+    let budgets = parse_list(
+        args.first().cloned(),
+        &audit_bench::defaults::fig2_budgets(),
+    );
     let samples = parse_count(args.get(1).cloned(), REAL_SAMPLES);
     let repeats = parse_count(args.get(2).cloned(), RANDOM_THRESHOLD_REPEATS);
     let threads = parse_count(args.get(3).cloned(), default_threads());

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run -p audit-bench --release --bin exp_online [epochs] [threads] \
-//!     [--scenario <key>] [--compare-cold] [--json] [--cache-stats]
+//!     [--scenario <key>] [--compare-cold] [--json] [--cache-stats] \
+//!     [--checkpoint-dir <dir> [--checkpoint-epoch <k>]] [--restore]
 //! ```
 //!
 //! `--compare-cold` additionally runs a shadow cold solve at every
@@ -13,11 +14,22 @@
 //! numbers behind `BENCH_runtime.json`); `--json` emits the full
 //! telemetry log as JSON instead of the table; `--cache-stats` prints the
 //! detection engine's counters summed over the committed solves.
+//!
+//! `--checkpoint-dir <dir>` runs the loop only up to `--checkpoint-epoch`
+//! (default: half the horizon), persists the full service state to the
+//! directory, and exits; a later invocation with `--checkpoint-dir <dir>
+//! --restore` reloads it (the run configuration is carried by the
+//! checkpoint, so `[epochs]`/`[threads]` are ignored then), finishes the
+//! remaining epochs, and prints the ordinary report — whose telemetry
+//! fingerprint is bit-identical to an uninterrupted run (the CI restart
+//! gate asserts exactly that).
 
 use alert_audit::telemetry::report_to_json;
-use audit_bench::defaults::{default_threads, parse_count, render_cache_stats, take_flag};
+use audit_bench::cli::{
+    default_threads, parse_count, render_cache_stats, take_flag, take_scenario_flag,
+    take_value_flag,
+};
 use audit_bench::report::{f4, Table};
-use audit_bench::scenarios::take_scenario_flag;
 use audit_game::solver::SolverConfig;
 use audit_runtime::{AuditService, RuntimeConfig};
 
@@ -27,6 +39,11 @@ fn main() {
     let compare_cold = take_flag(&mut args, "--compare-cold");
     let json = take_flag(&mut args, "--json");
     let cache_stats = take_flag(&mut args, "--cache-stats");
+    let checkpoint_dir =
+        take_value_flag(&mut args, "--checkpoint-dir").map(std::path::PathBuf::from);
+    let checkpoint_epoch =
+        take_value_flag(&mut args, "--checkpoint-epoch").map(|s| parse_count(Some(s), 0));
+    let restore = take_flag(&mut args, "--restore");
     let epochs = parse_count(args.first().cloned(), 24);
     let threads = parse_count(args.get(1).cloned(), default_threads());
 
@@ -57,9 +74,34 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let report = AuditService::new(scenario, cfg)
-        .run()
-        .expect("service loop runs");
+    let report = if restore {
+        let dir = checkpoint_dir.expect("--restore needs --checkpoint-dir <dir>");
+        let (service, state) = AuditService::restore(scenario, &dir).expect("checkpoint loads");
+        eprintln!(
+            "restored checkpoint at epoch {}/{} from {} (config carried by the checkpoint)",
+            state.epoch,
+            service.config().epochs,
+            dir.display()
+        );
+        service.resume(state).expect("service loop resumes")
+    } else if let Some(dir) = checkpoint_dir {
+        let service = AuditService::new(scenario, cfg);
+        let stop = checkpoint_epoch.unwrap_or(epochs / 2).max(1);
+        let state = service.run_until(stop).expect("service loop runs");
+        service.checkpoint(&state, &dir).expect("checkpoint saves");
+        println!(
+            "checkpoint: epoch {} of {} written to {}",
+            state.epoch,
+            epochs,
+            dir.display()
+        );
+        eprintln!("elapsed: {:.1?}", t0.elapsed());
+        return;
+    } else {
+        AuditService::new(scenario, cfg)
+            .run()
+            .expect("service loop runs")
+    };
     let elapsed = t0.elapsed();
 
     if json {

@@ -1,0 +1,163 @@
+//! Experiment E11 — persistence bench: cold bank build vs snapshot load
+//! (the numbers behind `BENCH_persist.json`).
+//!
+//! ```text
+//! cargo run -p audit-bench --release --bin exp_restart [samples-list] \
+//!     [--scenario <key>] [--dir <dir>] [--repeat <r>] [--json]
+//! ```
+//!
+//! For each sample count in the comma-separated list (default
+//! `1000,100000,1000000`) the driver measures, as the best of `--repeat`
+//! rounds (default 3, after one untimed warm-up — steady-state numbers,
+//! not first-touch page-fault noise):
+//!
+//! * **cold** — `scenario.build(seed)` + `spec.sample_bank(n, seed)`,
+//!   the regeneration path every solver run pays when no snapshot exists
+//!   ([`BankSource::Regenerate`]);
+//! * **save** — writing the scenario snapshot (provenance + spec + bank)
+//!   to `<dir>/bank_<n>.snap`;
+//! * **load** — [`BankSource::Snapshot`] with the default
+//!   [`SnapshotVerify::Rebuild`] provenance check (container checksum,
+//!   internal spec fingerprint, key/shape, and a spec rebuild);
+//! * **fast load** — the same with [`SnapshotVerify::Fingerprint`],
+//!   skipping the scenario rebuild — the warm-restart path.
+//!
+//! After timing, the loaded bank is cross-checked bit-for-bit against
+//! the cold build, so the speedups reported are for *verified-identical*
+//! data. The default scenario is `emr-reaa` — the paper's Rea A workload,
+//! whose alert-type distributions are the most expensive in the registry
+//! to sample and therefore the case snapshot restarts exist for.
+//!
+//! The table reports latencies plus the fast-load speedup over the cold
+//! build; `--json` emits the same rows as a JSON array.
+
+use alert_audit::persist::{save_scenario_snapshot, BankSource, SnapshotVerify};
+use audit_bench::cli::{parse_count, parse_list, take_scenario_flag, take_value_flag};
+use audit_bench::report::{f4, Table};
+use std::time::Instant;
+
+/// Best-of-`repeat` wall-clock of `f` in milliseconds, after one untimed
+/// warm-up round.
+fn best_ms<T>(repeat: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = f();
+    let mut best = f64::MAX;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (out, best)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario_key = take_scenario_flag(&mut args).unwrap_or_else(|| "emr-reaa".into());
+    let json = audit_bench::cli::take_flag(&mut args, "--json");
+    let repeat = take_value_flag(&mut args, "--repeat")
+        .map(|s| parse_count(Some(s), 3))
+        .unwrap_or(3);
+    let dir = take_value_flag(&mut args, "--dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("audit-restart-{}", std::process::id()))
+        });
+    let sizes: Vec<usize> = parse_list(args.first().cloned(), &[1e3, 1e5, 1e6])
+        .into_iter()
+        .map(|x| {
+            assert!(x >= 1.0 && x.fract() == 0.0, "sample counts are integers");
+            x as usize
+        })
+        .collect();
+
+    let reg = alert_audit::scenario::registry();
+    let scenario = reg
+        .resolve(&scenario_key)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .clone();
+    let seed = scenario.default_seed();
+    std::fs::create_dir_all(&dir).expect("snapshot directory is writable");
+    eprintln!(
+        "restart bench on scenario {} (seed {seed}, best of {repeat}), snapshots in {}",
+        scenario.key(),
+        dir.display()
+    );
+
+    let mut table = Table::new(vec![
+        "samples", "cold ms", "save ms", "load ms", "fast ms", "speedup", "bytes",
+    ]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let ((spec, bank), cold_ms) = best_ms(repeat, || {
+            BankSource::Regenerate { seed }
+                .resolve(scenario.as_ref(), n)
+                .expect("cold build succeeds")
+        });
+
+        let path = dir.join(format!("bank_{n}.snap"));
+        let (_, save_ms) = best_ms(repeat, || {
+            save_scenario_snapshot(&path, scenario.key(), seed, &spec, &bank)
+                .expect("snapshot saves")
+        });
+        let bytes = std::fs::metadata(&path).expect("snapshot exists").len();
+
+        let ((loaded_spec, loaded_bank), load_ms) = best_ms(repeat, || {
+            BankSource::Snapshot {
+                path: path.clone(),
+                verify: SnapshotVerify::Rebuild,
+            }
+            .resolve(scenario.as_ref(), n)
+            .expect("snapshot loads and verifies")
+        });
+        let ((fast_spec, fast_bank), fast_ms) = best_ms(repeat, || {
+            BankSource::Snapshot {
+                path: path.clone(),
+                verify: SnapshotVerify::Fingerprint,
+            }
+            .resolve(scenario.as_ref(), n)
+            .expect("snapshot loads")
+        });
+
+        for (label, s, b) in [
+            ("verified load", &loaded_spec, &loaded_bank),
+            ("fast load", &fast_spec, &fast_bank),
+        ] {
+            assert_eq!(s.fingerprint(), spec.fingerprint(), "{label}: spec drifted");
+            assert_eq!(
+                b.columns_flat(),
+                bank.columns_flat(),
+                "{label}: bank drifted from the cold build at {n} samples"
+            );
+        }
+
+        let speedup = cold_ms / fast_ms;
+        table.row(vec![
+            format!("{n}"),
+            f4(cold_ms),
+            f4(save_ms),
+            f4(load_ms),
+            f4(fast_ms),
+            format!("{speedup:.1}x"),
+            format!("{bytes}"),
+        ]);
+        rows.push(format!(
+            "    {{\"samples\": {n}, \"cold_build_ms\": {cold_ms:.3}, \
+             \"save_ms\": {save_ms:.3}, \"verified_load_ms\": {load_ms:.3}, \
+             \"fast_load_ms\": {fast_ms:.3}, \
+             \"speedup_fast_load_vs_cold\": {speedup:.1}, \"snapshot_bytes\": {bytes}}}"
+        ));
+        eprintln!(
+            "  {n} samples: cold {cold_ms:.1}ms, load {load_ms:.1}ms, \
+             fast {fast_ms:.1}ms ({speedup:.1}x)"
+        );
+    }
+
+    if json {
+        println!(
+            "{{\n  \"scenario\": \"{}\",\n  \"seed\": {seed},\n  \"repeat\": {repeat},\n  \"rows\": [\n{}\n  ]\n}}",
+            scenario.key(),
+            rows.join(",\n")
+        );
+    } else {
+        println!("{}", table.render());
+    }
+}

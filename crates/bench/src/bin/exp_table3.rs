@@ -12,22 +12,16 @@
 //! `--scenario` swaps the base game for any registry scenario (default
 //! `syn-a`; brute force is only tractable for small threshold lattices).
 
-use audit_bench::defaults::{default_threads, parse_count, SEED, SYN_BUDGETS, SYN_SAMPLES};
+use audit_bench::cli::{default_threads, parse_count, parse_list, take_scenario_flag};
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_SAMPLES};
 use audit_bench::report::{f4, support_str, thresholds_str, Table};
-use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
+use audit_bench::scenarios::resolve_base_spec;
 use audit_bench::syn_experiments::table3;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scenario = take_scenario_flag(&mut args);
-    let budgets: Vec<f64> = args
-        .first()
-        .map(|s| {
-            s.split(',')
-                .map(|b| b.parse().expect("budgets are comma-separated numbers"))
-                .collect()
-        })
-        .unwrap_or_else(|| SYN_BUDGETS.to_vec());
+    let budgets = parse_list(args.first().cloned(), &SYN_BUDGETS);
     let samples = parse_count(args.get(1).cloned(), SYN_SAMPLES);
     let threads = parse_count(args.get(2).cloned(), default_threads());
     let (key, base) = resolve_base_spec(scenario, "syn-a", SEED);

@@ -9,12 +9,12 @@
 //! `--cache-stats` prints the detection engine's aggregate hit/miss/
 //! eviction and trie-sharing counters after the run.
 
-use audit_bench::defaults::{
-    default_threads, parse_count, parse_list, render_cache_stats, take_flag, SEED, SYN_BUDGETS,
-    SYN_EPSILONS, SYN_SAMPLES,
+use audit_bench::cli::{
+    default_threads, parse_count, parse_list, render_cache_stats, take_flag, take_scenario_flag,
 };
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
 use audit_bench::report::{f4, thresholds_str, Table};
-use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
+use audit_bench::scenarios::resolve_base_spec;
 use audit_bench::syn_experiments::ishm_grid_with_stats;
 
 fn main() {

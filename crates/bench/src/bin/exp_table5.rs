@@ -5,11 +5,10 @@
 //! cargo run -p audit-bench --release --bin exp_table5 [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
-use audit_bench::defaults::{
-    default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
-};
+use audit_bench::cli::{default_threads, parse_count, parse_list, take_scenario_flag};
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
 use audit_bench::report::{f4, thresholds_str, Table};
-use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
+use audit_bench::scenarios::resolve_base_spec;
 use audit_bench::syn_experiments::ishm_grid;
 
 fn main() {

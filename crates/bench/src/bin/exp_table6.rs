@@ -8,11 +8,10 @@
 //! cargo run -p audit-bench --release --bin exp_table6 [budgets] [epsilons] [samples] [threads] [--scenario <key>]
 //! ```
 
-use audit_bench::defaults::{
-    default_threads, parse_count, parse_list, SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES,
-};
+use audit_bench::cli::{default_threads, parse_count, parse_list, take_scenario_flag};
+use audit_bench::defaults::{SEED, SYN_BUDGETS, SYN_EPSILONS, SYN_SAMPLES};
 use audit_bench::report::Table;
-use audit_bench::scenarios::{resolve_base_spec, take_scenario_flag};
+use audit_bench::scenarios::resolve_base_spec;
 use audit_bench::syn_experiments::{gamma_per_epsilon, ishm_grid, table3};
 
 fn main() {

@@ -38,72 +38,7 @@ pub const RANDOM_ORDER_SAMPLES: usize = 2000;
 /// each repetition is a full CGGS solve — and report the count used).
 pub const RANDOM_THRESHOLD_REPEATS: usize = 120;
 
-/// Parse an optional comma-separated CLI argument into a numeric grid,
-/// falling back to `default`. Shared by the `exp_*` binaries.
-pub fn parse_list(arg: Option<String>, default: &[f64]) -> Vec<f64> {
-    arg.map(|s| {
-        s.split(',')
-            .map(|x| x.parse().expect("numeric list"))
-            .collect()
-    })
-    .unwrap_or_else(|| default.to_vec())
-}
-
-/// Parse an optional CLI argument into a positive count, falling back to
-/// `default`. Shared by the `exp_*` binaries for `[samples]`/`[threads]`.
-pub fn parse_count(arg: Option<String>, default: usize) -> usize {
-    let n = arg
-        .map(|s| s.parse().expect("count is a positive integer"))
-        .unwrap_or(default);
-    assert!(n >= 1, "count must be at least 1");
-    n
-}
-
-/// Remove a boolean `--flag` from the CLI argument list, reporting whether
-/// it was present. Shared by the `exp_*` binaries.
-pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(i) = args.iter().position(|a| a == flag) {
-        args.remove(i);
-        true
-    } else {
-        false
-    }
-}
-
-/// Render the detection-engine counters for `--cache-stats` output: one
-/// line for the estimate cache, one for the prefix-state cache and trie
-/// evaluator. The `columns_saved` field is the headline — it counts the
-/// column passes the prefix-trie/sweep machinery avoided relative to
-/// per-query scalar evaluation, so a nonzero value proves the incremental
-/// batch path is engaged (the CI perf smoke greps for exactly that).
-pub fn render_cache_stats(stats: &audit_game::detection::CacheStats) -> String {
-    format!(
-        "engine cache: hits={} misses={} entries={} evictions={}\n\
-         engine trie: state_hits={} state_entries={} state_evictions={} \
-         columns_evaluated={} columns_saved={}",
-        stats.hits,
-        stats.misses,
-        stats.entries,
-        stats.evictions,
-        stats.state_hits,
-        stats.state_entries,
-        stats.state_evictions,
-        stats.columns_evaluated,
-        stats.columns_saved,
-    )
-}
-
-/// Worker threads for batched `Pal` evaluation in the experiment drivers:
-/// the `AUDIT_THREADS` environment variable when set (and ≥ 1), else 1.
-/// Binaries that expose a `[threads]` CLI argument let it take precedence.
-/// Thread count never changes results — only wall-clock time.
-pub fn default_threads() -> usize {
-    std::env::var("AUDIT_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or(1)
-}
+pub use crate::cli::{default_threads, parse_count, parse_list, render_cache_stats, take_flag};
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,10 @@
 //! * [`syn_experiments`] — synthetic-grid sweeps (Tables III–VII, Section
 //!   IV.C) over any base scenario;
 //! * [`real_experiments`] — budget sweeps with baselines (Figures 1–2);
-//! * [`scenarios`] — `--scenario` flag handling and the registry-wide
-//!   sweep;
+//! * [`scenarios`] — scenario resolution and the registry-wide sweep;
+//! * [`cli`] — the binaries' shared command-line dialect (flag and
+//!   positional parsing, `--scenario` handling, `--cache-stats`
+//!   rendering);
 //! * [`defaults`] — the budget grids and seeds shared across binaries.
 //!
 //! Every runner takes explicit seeds and sample counts so results are
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cli;
 pub mod defaults;
 pub mod real_experiments;
 pub mod report;

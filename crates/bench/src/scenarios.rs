@@ -14,27 +14,7 @@ use audit_game::model::GameSpec;
 use audit_game::solver::{OapSolver, SolverConfig};
 use std::sync::Arc;
 
-/// Remove `--scenario <key>` (or `--scenario=<key>`) from `args` and
-/// return the key, if present. Panics with usage help when the flag is
-/// dangling.
-pub fn take_scenario_flag(args: &mut Vec<String>) -> Option<String> {
-    if let Some(i) = args.iter().position(|a| a == "--scenario") {
-        assert!(
-            i + 1 < args.len(),
-            "--scenario needs a key; known keys: {}",
-            registry().keys().join(", ")
-        );
-        let key = args.remove(i + 1);
-        args.remove(i);
-        return Some(key);
-    }
-    if let Some(i) = args.iter().position(|a| a.starts_with("--scenario=")) {
-        let key = args[i]["--scenario=".len()..].to_string();
-        args.remove(i);
-        return Some(key);
-    }
-    None
-}
+pub use crate::cli::take_scenario_flag;
 
 /// Resolve a scenario key (defaulting when the flag was absent) and build
 /// its full-scale game at `seed`. Exits with the known-key list on an

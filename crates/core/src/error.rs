@@ -1,5 +1,6 @@
 //! Error type for game construction and solving.
 
+use crate::persist::PersistError;
 use lp_solver::LpError;
 use std::fmt;
 
@@ -20,6 +21,8 @@ pub enum GameError {
         /// All registered keys, in registration order.
         known: Vec<String>,
     },
+    /// Loading or saving a persistent snapshot failed.
+    Persist(PersistError),
 }
 
 impl fmt::Display for GameError {
@@ -33,6 +36,7 @@ impl fmt::Display for GameError {
                 "unknown scenario '{key}'; registered scenarios: {}",
                 known.join(", ")
             ),
+            GameError::Persist(e) => write!(f, "snapshot persistence failed: {e}"),
         }
     }
 }
@@ -41,6 +45,7 @@ impl std::error::Error for GameError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GameError::Lp(e) => Some(e),
+            GameError::Persist(e) => Some(e),
             _ => None,
         }
     }

@@ -83,6 +83,7 @@ pub mod master;
 pub mod model;
 pub mod ordering;
 pub mod payoff;
+pub mod persist;
 pub mod quantal;
 pub mod scenario;
 pub mod sensitivity;
@@ -104,8 +105,9 @@ pub mod prelude {
     pub use crate::master::{MasterSolution, MasterSolver};
     pub use crate::model::{AlertType, AttackAction, Attacker, GameSpec};
     pub use crate::ordering::{AuditOrder, PrecedenceConstraints};
+    pub use crate::persist::PersistError;
     pub use crate::quantal::QuantalResponse;
-    pub use crate::scenario::{Registry, Scenario};
+    pub use crate::scenario::{BankSource, Registry, Scenario, SnapshotVerify};
     pub use crate::simulation::{simulate_policy, SimulationReport};
     pub use crate::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
 }

@@ -152,7 +152,46 @@ impl OapSolver {
             spec.clone()
         };
         let bank = working.sample_bank(self.config.n_samples, self.config.seed);
-        let est = DetectionEstimator::new(&working, &bank, self.config.detection);
+        self.solve_on(&working, &bank, warm)
+    }
+
+    /// Solve on an explicitly supplied common-random-number bank instead
+    /// of regenerating one from `(n_samples, seed)` — the entry point of
+    /// the snapshot path. With a bank equal to
+    /// `spec.sample_bank(config.n_samples, config.seed)` (which is what a
+    /// verified scenario snapshot holds — dedup merges actions, never
+    /// distributions, so the working spec draws the identical bank) the
+    /// result is bit-identical to [`OapSolver::solve_warm`].
+    pub fn solve_with_bank(
+        &self,
+        spec: &GameSpec,
+        bank: &stochastics::SampleBank,
+        warm: Option<&WarmStart>,
+    ) -> Result<AuditSolution, GameError> {
+        spec.validate()?;
+        if bank.n_types() != spec.n_types() {
+            return Err(GameError::InvalidConfig(format!(
+                "bank covers {} types but the game has {}",
+                bank.n_types(),
+                spec.n_types()
+            )));
+        }
+        let working = if self.config.dedup_actions {
+            spec.dedup_actions()
+        } else {
+            spec.clone()
+        };
+        self.solve_on(&working, bank, warm)
+    }
+
+    /// Shared solve pipeline over a prepared (deduped) spec and bank.
+    fn solve_on(
+        &self,
+        working: &GameSpec,
+        bank: &stochastics::SampleBank,
+        warm: Option<&WarmStart>,
+    ) -> Result<AuditSolution, GameError> {
+        let est = DetectionEstimator::new(working, bank, self.config.detection);
         let ishm = Ishm::new(IshmConfig {
             epsilon: self.config.epsilon,
             initial_thresholds: warm.and_then(|w| w.thresholds.clone()),
@@ -165,13 +204,13 @@ impl OapSolver {
             InnerKind::Auto => working.n_types() <= 5,
         };
         let (outcome, cache): (IshmOutcome, CacheStats) = if use_exact {
-            let mut eval = ExactEvaluator::with_threads(&working, est, self.config.threads);
-            let outcome = ishm.solve(&working, &mut eval)?;
+            let mut eval = ExactEvaluator::with_threads(working, est, self.config.threads);
+            let outcome = ishm.solve(working, &mut eval)?;
             let cache = eval.engine().cache_stats();
             (outcome, cache)
         } else {
             let mut eval = CggsEvaluator::new(
-                &working,
+                working,
                 est,
                 CggsConfig {
                     threads: self.config.threads,
@@ -179,7 +218,7 @@ impl OapSolver {
                     ..Default::default()
                 },
             );
-            let outcome = ishm.solve(&working, &mut eval)?;
+            let outcome = ishm.solve(working, &mut eval)?;
             let cache = eval.engine().cache_stats();
             (outcome, cache)
         };
@@ -348,6 +387,41 @@ mod tests {
             warm.stats.thresholds_explored,
             cold.stats.thresholds_explored
         );
+    }
+
+    #[test]
+    fn explicit_bank_is_bit_identical_to_regeneration() {
+        let spec = random_game(&RandomGameConfig::default(), 31);
+        for inner in [InnerKind::Exact, InnerKind::Cggs] {
+            let solver = OapSolver::new(SolverConfig {
+                n_samples: 60,
+                epsilon: 0.25,
+                inner,
+                ..Default::default()
+            });
+            let implicit = solver.solve(&spec).unwrap();
+            let bank = spec.sample_bank(60, 0);
+            let explicit = solver.solve_with_bank(&spec, &bank, None).unwrap();
+            assert_eq!(
+                implicit.loss.to_bits(),
+                explicit.loss.to_bits(),
+                "{inner:?}"
+            );
+            assert_eq!(implicit.policy.thresholds, explicit.policy.thresholds);
+            assert_eq!(implicit.policy.orders, explicit.policy.orders);
+            assert_eq!(implicit.policy.probs, explicit.policy.probs);
+        }
+    }
+
+    #[test]
+    fn mismatched_bank_shape_rejected() {
+        let spec = random_game(&RandomGameConfig::default(), 1);
+        let bank = stochastics::SampleBank::from_rows(vec![vec![1u64; spec.n_types() + 1]]);
+        let solver = OapSolver::new(SolverConfig::default());
+        assert!(matches!(
+            solver.solve_with_bank(&spec, &bank, None),
+            Err(GameError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   re-solve **warm** from the incumbent solution
 //!   ([`audit_game::solver::OapSolver::solve_warm`]) so the service keeps
 //!   serving between cheap re-solves;
+//! * [`checkpoint`] — warm service restart: freeze the loop state at any
+//!   epoch boundary into a checkpoint directory
+//!   ([`service::AuditService::checkpoint`]) and thaw it in a fresh
+//!   process ([`service::AuditService::restore`] +
+//!   [`service::AuditService::resume`]) with a report fingerprint
+//!   bit-identical to an uninterrupted run;
 //! * [`telemetry`] — structured per-epoch telemetry (realized detection
 //!   rates, gap to the predicted `Pal`, drift statistics, solve latency,
 //!   epochs-since-resolve) with a deterministic fingerprint: reruns and
@@ -34,10 +40,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod online;
 pub mod service;
 pub mod telemetry;
 
+pub use checkpoint::{load_checkpoint, save_checkpoint, LoadedCheckpoint};
 pub use online::{DriftConfig, OnlineFit};
-pub use service::{warm_start_rescaled, AuditService, RuntimeConfig};
+pub use service::{warm_start_rescaled, AuditService, RuntimeConfig, ServiceState};
 pub use telemetry::{EpochTelemetry, ResolveStats, RuntimeReport};

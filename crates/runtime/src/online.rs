@@ -86,9 +86,42 @@ impl OnlineFit {
         self.periods += 1;
     }
 
+    /// Rebuild a tracker from persisted parts: the window capacity, the
+    /// total period count, the per-type recent windows (oldest first) and
+    /// the per-type lifetime moments. The inverse of walking
+    /// [`OnlineFit::window`] / [`OnlineFit::lifetime`] — a tracker
+    /// restored this way continues bit-identically to one that observed
+    /// the same history live (see the checkpoint/restore path in
+    /// [`crate::checkpoint`]).
+    pub fn from_parts(
+        window_cap: usize,
+        periods: usize,
+        windows: Vec<Vec<u64>>,
+        lifetime: Vec<StreamingMoments>,
+    ) -> Self {
+        assert!(!windows.is_empty(), "need at least one alert type");
+        assert!(window_cap > 0, "window must hold at least one period");
+        assert_eq!(windows.len(), lifetime.len(), "arity mismatch");
+        assert!(
+            windows.iter().all(|w| w.len() <= window_cap.min(periods)),
+            "window longer than its capacity or the observed history"
+        );
+        Self {
+            window_cap,
+            windows,
+            lifetime,
+            periods,
+        }
+    }
+
     /// Number of alert types tracked.
     pub fn n_types(&self) -> usize {
         self.windows.len()
+    }
+
+    /// Sliding-window capacity in periods.
+    pub fn window_cap(&self) -> usize {
+        self.window_cap
     }
 
     /// Total periods observed.
@@ -222,6 +255,37 @@ mod tests {
         let lifetime = fit.refit_lifetime(0.995);
         assert!(windowed[0].mean() > lifetime[0].mean() + 4.0);
         assert!((lifetime[0].mean() - 88.0 / 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn from_parts_continues_exactly_like_the_live_tracker() {
+        let mut live = OnlineFit::new(2, 3);
+        let history: Vec<[u64; 2]> = (0..7).map(|i| [i, 2 * i + 1]).collect();
+        for row in &history[..4] {
+            live.observe(row);
+        }
+        // Snapshot the tracker after 4 periods and rebuild it from parts.
+        let mut restored = OnlineFit::from_parts(
+            live.window_cap(),
+            live.periods(),
+            (0..live.n_types())
+                .map(|t| live.window(t).to_vec())
+                .collect(),
+            (0..live.n_types()).map(|t| *live.lifetime(t)).collect(),
+        );
+        for row in &history[4..] {
+            live.observe(row);
+            restored.observe(row);
+        }
+        for t in 0..2 {
+            assert_eq!(live.window(t), restored.window(t));
+            assert_eq!(live.lifetime(t).count(), restored.lifetime(t).count());
+            assert_eq!(
+                live.lifetime(t).mean().to_bits(),
+                restored.lifetime(t).mean().to_bits()
+            );
+        }
+        assert_eq!(live.periods(), restored.periods());
     }
 
     #[test]

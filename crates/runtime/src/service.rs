@@ -9,24 +9,48 @@
 //! **warm-started** from the incumbent solution so the service interrupts
 //! itself as briefly as possible. Telemetry is recorded every epoch.
 //!
+//! The loop is **restartable**: all mutable state lives in a
+//! [`ServiceState`] that advances one epoch at a time, so a run can be
+//! cut at any epoch boundary ([`AuditService::run_until`]), persisted
+//! ([`AuditService::checkpoint`]), reloaded in a fresh process
+//! ([`AuditService::restore`]) and resumed ([`AuditService::resume`])
+//! with a [`RuntimeReport`] fingerprint **bit-identical** to an
+//! uninterrupted run. Two design choices make that exactness cheap:
+//!
+//! * execution randomness is drawn from a **per-period** derived stream
+//!   (`stream_rng(seed, EXEC_STREAM_BASE ^ period_index)`) rather than
+//!   one run-long generator, so no RNG state ever needs persisting — the
+//!   restored process re-derives the stream of every remaining period;
+//! * everything else the loop carries (spec, policy, drift tracker,
+//!   telemetry) is either persisted bit-exactly or recomputed from
+//!   persisted inputs through the same deterministic constructors (the
+//!   alert stream, the solver sample bank, the predicted `Pal` vector).
+//!
 //! Determinism: given the same [`RuntimeConfig`], the run is bit-identical
 //! across reruns and solver thread counts (the engine guarantees
-//! thread-invariant solves; execution randomness comes from a dedicated
-//! seed stream). Wall-clock latencies are measured but excluded from the
-//! telemetry fingerprint.
+//! thread-invariant solves). Wall-clock latencies are measured but
+//! excluded from the telemetry fingerprint.
 
 use crate::online::{DriftConfig, OnlineFit};
 use crate::telemetry::{EpochTelemetry, RuntimeReport};
-use audit_game::detection::{DetectionEstimator, PalEngine};
+use audit_game::detection::{CacheStats, DetectionEstimator, PalEngine};
 use audit_game::error::GameError;
 use audit_game::execute::{execute_policy, AuditPolicy, RealizedAlert};
 use audit_game::model::GameSpec;
+use audit_game::persist::PersistError;
 use audit_game::scenario::Scenario;
-use audit_game::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
+use audit_game::solver::{InnerKind, OapSolver, SolverConfig, WarmStart};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use stochastics::rng::stream_rng;
+
+/// High bits of the execution-randomness stream ids: period `i` executes
+/// with `stream_rng(seed, EXEC_STREAM_BASE ^ i)`. Disjoint by construction
+/// from the scenario build/stream and solver bank streams, and derived
+/// (not carried), so checkpoint/restore never persists RNG state.
+pub const EXEC_STREAM_BASE: u64 = 0x0E0C_0000_0000_0000;
 
 /// Configuration of one service run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -118,6 +142,47 @@ pub fn warm_start_rescaled(policy: &AuditPolicy, old: &GameSpec, new: &GameSpec)
     }
 }
 
+/// The complete mutable state of the epoch loop between two epoch
+/// boundaries — everything [`AuditService::run`] carries from one epoch
+/// to the next, and exactly what a checkpoint persists (plus the spec's
+/// sample bank; the alert stream and predicted-`Pal` vector are
+/// recomputed from it deterministically on restore).
+///
+/// Invariants (verified on restore): `records.len() == epoch`, the drift
+/// tracker has observed `epoch · periods_per_epoch` periods, and
+/// `next_alert_id` equals the total alert count over all records.
+#[derive(Debug, Clone)]
+pub struct ServiceState {
+    /// Next epoch to run; epochs `0..epoch` are recorded in `records`.
+    pub epoch: usize,
+    /// The committed game — the scenario's build at the config seed, or
+    /// the latest refit spec after a re-solve epoch.
+    pub spec: GameSpec,
+    /// The incumbent committed policy.
+    pub policy: AuditPolicy,
+    /// Predicted loss of the incumbent policy.
+    pub loss: f64,
+    /// Detection-engine counters over the initial solve and every
+    /// committed re-solve so far.
+    pub engine_cache: CacheStats,
+    /// The streaming drift tracker.
+    pub fit: OnlineFit,
+    /// Id the next realized alert will take (global, monotone).
+    pub next_alert_id: u64,
+    /// Incumbent age in epochs, as seen by the drift gate.
+    pub epochs_since_resolve: usize,
+    /// Objective of the initial (cold) solve.
+    pub initial_objective: f64,
+    /// Wall-clock milliseconds of the initial solve.
+    pub initial_solve_millis: f64,
+    /// The incumbent policy's predicted mixture `Pal` per type, evaluated
+    /// on the solver's sample bank for the committed spec. Derived state:
+    /// recomputed (bit-identically) from `spec` + `policy` on restore.
+    pub predicted: Vec<f64>,
+    /// Telemetry of the epochs already run.
+    pub records: Vec<EpochTelemetry>,
+}
+
 /// The long-running epoch-based auditing service over one scenario.
 pub struct AuditService {
     scenario: Arc<dyn Scenario>,
@@ -132,166 +197,270 @@ impl AuditService {
         Self { scenario, config }
     }
 
+    /// The configuration the service runs under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The scenario the service runs on.
+    pub fn scenario(&self) -> &Arc<dyn Scenario> {
+        &self.scenario
+    }
+
     /// Run the full epoch loop and return the telemetry report.
     pub fn run(&self) -> Result<RuntimeReport, GameError> {
+        let state = self.run_until(self.config.epochs)?;
+        Ok(self.report(state))
+    }
+
+    /// Run the loop from a cold start up to (but not including)
+    /// `stop_epoch`, returning the live state — the checkpointable half
+    /// of [`AuditService::run`]. `stop_epoch >= epochs` runs to the end.
+    pub fn run_until(&self, stop_epoch: usize) -> Result<ServiceState, GameError> {
+        let mut state = self.start()?;
+        self.advance(&mut state, stop_epoch)?;
+        Ok(state)
+    }
+
+    /// Resume a state (from [`AuditService::run_until`] or
+    /// [`AuditService::restore`]) through the remaining epochs and return
+    /// the full report. The result is bit-identical — fingerprint and
+    /// all — to an uninterrupted [`AuditService::run`], wall-clock
+    /// latency fields aside.
+    pub fn resume(&self, mut state: ServiceState) -> Result<RuntimeReport, GameError> {
+        self.advance(&mut state, self.config.epochs)?;
+        Ok(self.report(state))
+    }
+
+    /// Assemble the telemetry report of a (fully or partially) run state.
+    pub fn report(&self, state: ServiceState) -> RuntimeReport {
+        RuntimeReport {
+            scenario: self.scenario.key().to_string(),
+            seed: self.config.seed,
+            periods_per_epoch: self.config.periods_per_epoch,
+            initial_objective: state.initial_objective,
+            initial_solve_millis: state.initial_solve_millis,
+            engine_cache: state.engine_cache,
+            epochs: state.records,
+        }
+    }
+
+    /// Persist the state (spec + solver sample bank, incumbent policy and
+    /// warm-start, drift tracker, epoch cursor, telemetry chain) to
+    /// `dir`, from which [`AuditService::restore`] can resume in a fresh
+    /// process. See [`crate::checkpoint`] for the on-disk layout.
+    pub fn checkpoint(&self, state: &ServiceState, dir: &Path) -> Result<(), GameError> {
+        crate::checkpoint::save_checkpoint(dir, self.scenario.key(), &self.config, state)
+            .map_err(GameError::from)
+    }
+
+    /// Reload a checkpoint written by [`AuditService::checkpoint`],
+    /// rebuilding the service (the configuration is carried by the
+    /// checkpoint) and the mid-run state. `scenario` must be the same
+    /// registry scenario the checkpoint was taken from — the persisted
+    /// alert stream is *not* stored and is re-derived from it.
+    pub fn restore(
+        scenario: Arc<dyn Scenario>,
+        dir: &Path,
+    ) -> Result<(AuditService, ServiceState), GameError> {
+        let loaded = crate::checkpoint::load_checkpoint(dir)?;
+        if loaded.scenario_key != scenario.key() {
+            return Err(GameError::Persist(PersistError::Provenance(format!(
+                "checkpoint was taken on scenario '{}', not '{}'",
+                loaded.scenario_key,
+                scenario.key()
+            ))));
+        }
+        Ok((AuditService::new(scenario, loaded.config), loaded.state))
+    }
+
+    /// Cold start: build and solve the scenario, arm the drift tracker.
+    fn start(&self) -> Result<ServiceState, GameError> {
         let cfg = &self.config;
-        let mut spec = self.scenario.build(cfg.seed)?;
+        let spec = self.scenario.build(cfg.seed)?;
         spec.validate()?;
         let n = spec.n_types();
         let solver = OapSolver::new(cfg.solver.clone());
 
         let t0 = Instant::now();
-        let mut solution = solver.solve(&spec)?;
+        let solution = solver.solve(&spec)?;
         let initial_solve_millis = millis_since(t0);
-        let mut engine_cache = solution.cache;
-        let initial_objective = solution.loss;
-        let mut predicted = predicted_pal(&spec, &solution, &cfg.solver);
+        let predicted = predicted_pal(&spec, &solution.policy, &cfg.solver);
 
-        let total_periods = cfg.epochs * cfg.periods_per_epoch;
-        let stream = self.scenario.alert_stream(cfg.seed, total_periods)?;
-        let mut fit = OnlineFit::new(n, cfg.drift.window_periods);
-        let mut exec_rng = stream_rng(cfg.seed, 0x0E0C);
-        let mut next_alert_id = 0u64;
-        let mut epochs_since_resolve = 0usize;
-        let mut records = Vec::with_capacity(cfg.epochs);
+        Ok(ServiceState {
+            epoch: 0,
+            spec,
+            predicted,
+            loss: solution.loss,
+            engine_cache: solution.cache,
+            policy: solution.policy,
+            fit: OnlineFit::new(n, cfg.drift.window_periods),
+            next_alert_id: 0,
+            epochs_since_resolve: 0,
+            initial_objective: solution.loss,
+            initial_solve_millis,
+            records: Vec::with_capacity(cfg.epochs),
+        })
+    }
 
-        for epoch in 0..cfg.epochs {
-            // --- execute the committed policy, one period at a time ---
-            let mut seen = vec![0u64; n];
-            let mut audited = vec![0u64; n];
-            let mut spent = 0.0f64;
-            for period in 0..cfg.periods_per_epoch {
-                let row = &stream[epoch * cfg.periods_per_epoch + period];
-                let mut alerts = Vec::with_capacity(row.iter().map(|&z| z as usize).sum());
-                for (t, &z) in row.iter().enumerate() {
-                    seen[t] += z;
-                    for _ in 0..z {
-                        alerts.push(RealizedAlert {
-                            alert_type: t,
-                            id: next_alert_id,
-                        });
-                        next_alert_id += 1;
-                    }
+    /// Run epochs until `stop` (clamped to the configured horizon).
+    fn advance(&self, state: &mut ServiceState, stop: usize) -> Result<(), GameError> {
+        let cfg = &self.config;
+        let stop = stop.min(cfg.epochs);
+        if state.epoch >= stop {
+            return Ok(());
+        }
+        let stream = self
+            .scenario
+            .alert_stream(cfg.seed, cfg.epochs * cfg.periods_per_epoch)?;
+        while state.epoch < stop {
+            self.run_epoch(state, &stream)?;
+        }
+        Ok(())
+    }
+
+    /// Execute one epoch: run the committed policy period by period, gate
+    /// on drift, optionally re-solve, and record telemetry.
+    fn run_epoch(&self, st: &mut ServiceState, stream: &[Vec<u64>]) -> Result<(), GameError> {
+        let cfg = &self.config;
+        let epoch = st.epoch;
+        let n = st.spec.n_types();
+        let solver = OapSolver::new(cfg.solver.clone());
+
+        // --- execute the committed policy, one period at a time ---
+        let mut seen = vec![0u64; n];
+        let mut audited = vec![0u64; n];
+        let mut spent = 0.0f64;
+        for period in 0..cfg.periods_per_epoch {
+            let period_index = epoch * cfg.periods_per_epoch + period;
+            let row = &stream[period_index];
+            let mut alerts = Vec::with_capacity(row.iter().map(|&z| z as usize).sum());
+            for (t, &z) in row.iter().enumerate() {
+                seen[t] += z;
+                for _ in 0..z {
+                    alerts.push(RealizedAlert {
+                        alert_type: t,
+                        id: st.next_alert_id,
+                    });
+                    st.next_alert_id += 1;
                 }
-                let run = execute_policy(&solution.policy, &spec, &alerts, &mut exec_rng);
-                for (t, ids) in run.audited.iter().enumerate() {
-                    audited[t] += ids.len() as u64;
-                }
-                spent += run.spent;
-                fit.observe(row);
             }
-            let realized_rate: Vec<f64> = seen
-                .iter()
-                .zip(&audited)
-                .map(|(&s, &a)| if s == 0 { 0.0 } else { a as f64 / s as f64 })
-                .collect();
-            let pal_gap = predicted
-                .iter()
-                .zip(&realized_rate)
-                .map(|(&p, &r)| (p - r).abs())
-                .sum::<f64>()
-                / n as f64;
-            // The record carries the prediction of the policy that was
-            // actually executed this epoch — the vector `pal_gap` was
-            // computed against — even if a re-solve below replaces it.
-            let predicted_executed = predicted.clone();
+            // Execution randomness is a fresh derived stream per period,
+            // so a restored run re-derives the exact remaining streams
+            // without any generator state in the checkpoint.
+            let mut exec_rng = stream_rng(cfg.seed, EXEC_STREAM_BASE ^ period_index as u64);
+            let run = execute_policy(&st.policy, &st.spec, &alerts, &mut exec_rng);
+            for (t, ids) in run.audited.iter().enumerate() {
+                audited[t] += ids.len() as u64;
+            }
+            spent += run.spent;
+            st.fit.observe(row);
+        }
+        let realized_rate: Vec<f64> = seen
+            .iter()
+            .zip(&audited)
+            .map(|(&s, &a)| if s == 0 { 0.0 } else { a as f64 / s as f64 })
+            .collect();
+        let pal_gap = st
+            .predicted
+            .iter()
+            .zip(&realized_rate)
+            .map(|(&p, &r)| (p - r).abs())
+            .sum::<f64>()
+            / n as f64;
+        // The record carries the prediction of the policy that was
+        // actually executed this epoch — the vector `pal_gap` was
+        // computed against — even if a re-solve below replaces it.
+        let predicted_executed = st.predicted.clone();
 
-            // --- drift gate ---
-            let max_ks = fit.max_ks(&spec.distributions);
-            let drift = fit.window_full() && max_ks > cfg.drift.ks_threshold;
-            let stale = cfg
-                .drift
-                .max_stale_epochs
-                .is_some_and(|m| epochs_since_resolve >= m);
-            let gate_age = epochs_since_resolve;
-            let resolve = (drift && epochs_since_resolve >= cfg.drift.cooldown_epochs) || stale;
+        // --- drift gate ---
+        let max_ks = st.fit.max_ks(&st.spec.distributions);
+        let drift = st.fit.window_full() && max_ks > cfg.drift.ks_threshold;
+        let stale = cfg
+            .drift
+            .max_stale_epochs
+            .is_some_and(|m| st.epochs_since_resolve >= m);
+        let gate_age = st.epochs_since_resolve;
+        let resolve = (drift && st.epochs_since_resolve >= cfg.drift.cooldown_epochs) || stale;
 
-            let mut solve_explored = None;
-            let mut solve_millis = None;
-            let mut cold_objective = None;
-            let mut cold_explored = None;
-            let mut cold_millis = None;
-            if resolve {
-                let mut new_spec = spec.clone();
-                // Drift reacts to the recent window; a pure staleness
-                // refresh (gate quiet) recalibrates to the lifetime
-                // streaming moments instead.
-                new_spec.distributions = if drift {
-                    fit.refit(cfg.drift.fit_coverage)
-                } else {
-                    fit.refit_lifetime(cfg.drift.fit_coverage)
-                };
-                // The service's committed model is the refit marginals; a
-                // stale correlated sampler would contradict them.
-                new_spec.joint_counts = None;
-
-                if cfg.compare_cold {
-                    let t = Instant::now();
-                    let shadow = solver.solve(&new_spec)?;
-                    cold_millis = Some(millis_since(t));
-                    cold_objective = Some(shadow.loss);
-                    cold_explored = Some(shadow.stats.thresholds_explored);
-                }
-                let warm = warm_start_rescaled(&solution.policy, &spec, &new_spec);
-                let t = Instant::now();
-                let committed = if cfg.warm_start {
-                    solver.solve_warm(&new_spec, Some(&warm))?
-                } else {
-                    solver.solve(&new_spec)?
-                };
-                solve_millis = Some(millis_since(t));
-                solve_explored = Some(committed.stats.thresholds_explored);
-                engine_cache.absorb(&committed.cache);
-                spec = new_spec;
-                solution = committed;
-                predicted = predicted_pal(&spec, &solution, &cfg.solver);
-                epochs_since_resolve = 0;
+        let mut solve_explored = None;
+        let mut solve_millis = None;
+        let mut cold_objective = None;
+        let mut cold_explored = None;
+        let mut cold_millis = None;
+        if resolve {
+            let mut new_spec = st.spec.clone();
+            // Drift reacts to the recent window; a pure staleness
+            // refresh (gate quiet) recalibrates to the lifetime
+            // streaming moments instead.
+            new_spec.distributions = if drift {
+                st.fit.refit(cfg.drift.fit_coverage)
             } else {
-                epochs_since_resolve += 1;
-            }
+                st.fit.refit_lifetime(cfg.drift.fit_coverage)
+            };
+            // The service's committed model is the refit marginals; a
+            // stale correlated sampler would contradict them.
+            new_spec.joint_counts = None;
 
-            records.push(EpochTelemetry {
-                epoch,
-                periods: cfg.periods_per_epoch,
-                alerts_seen: seen,
-                alerts_audited: audited,
-                mean_spent: spent / cfg.periods_per_epoch as f64,
-                realized_rate,
-                predicted_pal: predicted_executed,
-                pal_gap,
-                max_ks,
-                drift,
-                resolved: resolve,
-                epochs_since_resolve: gate_age,
-                objective: solution.loss,
-                thresholds: solution.policy.thresholds.clone(),
-                solve_explored,
-                solve_millis,
-                cold_objective,
-                cold_explored,
-                cold_millis,
-            });
+            if cfg.compare_cold {
+                let t = Instant::now();
+                let shadow = solver.solve(&new_spec)?;
+                cold_millis = Some(millis_since(t));
+                cold_objective = Some(shadow.loss);
+                cold_explored = Some(shadow.stats.thresholds_explored);
+            }
+            let warm = warm_start_rescaled(&st.policy, &st.spec, &new_spec);
+            let t = Instant::now();
+            let committed = if cfg.warm_start {
+                solver.solve_warm(&new_spec, Some(&warm))?
+            } else {
+                solver.solve(&new_spec)?
+            };
+            solve_millis = Some(millis_since(t));
+            solve_explored = Some(committed.stats.thresholds_explored);
+            st.engine_cache.absorb(&committed.cache);
+            st.spec = new_spec;
+            st.policy = committed.policy;
+            st.loss = committed.loss;
+            st.predicted = predicted_pal(&st.spec, &st.policy, &cfg.solver);
+            st.epochs_since_resolve = 0;
+        } else {
+            st.epochs_since_resolve += 1;
         }
 
-        Ok(RuntimeReport {
-            scenario: self.scenario.key().to_string(),
-            seed: cfg.seed,
-            periods_per_epoch: cfg.periods_per_epoch,
-            initial_objective,
-            initial_solve_millis,
-            engine_cache,
-            epochs: records,
-        })
+        st.records.push(EpochTelemetry {
+            epoch,
+            periods: cfg.periods_per_epoch,
+            alerts_seen: seen,
+            alerts_audited: audited,
+            mean_spent: spent / cfg.periods_per_epoch as f64,
+            realized_rate,
+            predicted_pal: predicted_executed,
+            pal_gap,
+            max_ks,
+            drift,
+            resolved: resolve,
+            epochs_since_resolve: gate_age,
+            objective: st.loss,
+            thresholds: st.policy.thresholds.clone(),
+            solve_explored,
+            solve_millis,
+            cold_objective,
+            cold_explored,
+            cold_millis,
+        });
+        st.epoch += 1;
+        Ok(())
     }
 }
 
 /// The committed policy's predicted mixture `Pal` under the spec it was
 /// solved against (evaluated on the same sample bank the solver used).
-fn predicted_pal(spec: &GameSpec, solution: &AuditSolution, cfg: &SolverConfig) -> Vec<f64> {
+pub(crate) fn predicted_pal(spec: &GameSpec, policy: &AuditPolicy, cfg: &SolverConfig) -> Vec<f64> {
     let bank = spec.sample_bank(cfg.n_samples, cfg.seed);
     let est = DetectionEstimator::new(spec, &bank, cfg.detection);
     let engine = PalEngine::new(est, cfg.threads);
-    solution.policy.expected_pal(&engine)
+    policy.expected_pal(&engine)
 }
 
 fn millis_since(t: Instant) -> f64 {

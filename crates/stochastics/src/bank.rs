@@ -12,6 +12,7 @@
 
 use crate::discrete::CountDistribution;
 use crate::rng::stream_rng;
+use crate::snapshot::JointParams;
 
 /// A joint sampler of per-period count vectors `Z = (Z_1, …, Z_|T|)`.
 ///
@@ -33,6 +34,13 @@ pub trait JointCountModel: Send + Sync {
     /// season phase cycling with the period) can depend on the period
     /// itself rather than on RNG state.
     fn sample_row(&self, sample_index: usize, rng: &mut dyn rand::RngCore) -> Vec<u64>;
+
+    /// Constructor parameters for persistence, or `None` when the model
+    /// cannot be snapshotted. The default keeps ad-hoc test models out of
+    /// the persistence layer; the registry's concrete models override it.
+    fn snapshot_params(&self) -> Option<JointParams> {
+        None
+    }
 }
 
 /// A frozen matrix of joint alert-count realizations.
@@ -181,12 +189,7 @@ impl SampleBank {
                 cols[t * n_samples + s] = z;
             }
         }
-        // Validate once whether the compact mirror is exact; counts beyond
-        // u32 (never seen in practice) keep the u64 fallback.
-        let cols32 = cols
-            .iter()
-            .map(|&z| u32::try_from(z).ok())
-            .collect::<Option<Vec<u32>>>();
+        let cols32 = Self::derive_compact(&cols);
         Self {
             n_types,
             n_samples,
@@ -194,6 +197,43 @@ impl SampleBank {
             cols,
             cols32,
         }
+    }
+
+    /// Build both layouts from a column-major matrix (`n_types × n_samples`,
+    /// the orientation snapshots persist).
+    pub fn from_column_major(n_types: usize, n_samples: usize, cols: Vec<u64>) -> Self {
+        assert!(n_types > 0, "need at least one alert type");
+        assert!(n_samples > 0, "need at least one sample");
+        assert_eq!(cols.len(), n_samples * n_types, "column matrix shape");
+        let mut data = vec![0u64; n_samples * n_types];
+        // Row-outer order keeps the writes streaming (the reads advance
+        // `n_types` sequential column cursors) — the transposed loop
+        // scatters writes at a `n_types`-word stride and is several times
+        // slower on the million-row banks the snapshot path loads.
+        for (s, row) in data.chunks_exact_mut(n_types).enumerate() {
+            for (t, slot) in row.iter_mut().enumerate() {
+                *slot = cols[t * n_samples + s];
+            }
+        }
+        let cols32 = Self::derive_compact(&cols);
+        Self {
+            n_types,
+            n_samples,
+            data,
+            cols,
+            cols32,
+        }
+    }
+
+    /// The one place the compact-mirror validation lives: every
+    /// constructor funnels through this, so the "all counts fit `u32`"
+    /// check cannot drift between the generate / joint / explicit-row /
+    /// snapshot-load paths. Counts beyond `u32` (never seen in practice)
+    /// keep the `u64` fallback.
+    fn derive_compact(cols: &[u64]) -> Option<Vec<u32>> {
+        cols.iter()
+            .map(|&z| u32::try_from(z).ok())
+            .collect::<Option<Vec<u32>>>()
     }
 
     /// Number of alert types per row.
@@ -242,6 +282,17 @@ impl SampleBank {
     /// Whether the compact `u32` column mirror is present (all counts fit).
     pub fn has_compact_columns(&self) -> bool {
         self.cols32.is_some()
+    }
+
+    /// The full column-major matrix (`n_types × n_samples`, type-contiguous)
+    /// — the authoritative layout the snapshot writer persists.
+    pub fn columns_flat(&self) -> &[u64] {
+        &self.cols
+    }
+
+    /// The full compact column-major mirror, when present.
+    pub fn compact_columns_flat(&self) -> Option<&[u32]> {
+        self.cols32.as_deref()
     }
 
     /// Split the bank into contiguous row blocks of (at most) `chunk_rows`
@@ -410,6 +461,22 @@ mod tests {
         assert_eq!(bank.compact_column(0), None);
         assert_eq!(bank.compact_column(1), None);
         assert_eq!(bank.column(1), &[big, 3]);
+    }
+
+    #[test]
+    fn from_column_major_mirrors_row_major() {
+        let bank = SampleBank::generate(&dists(), 73, 21);
+        let rebuilt =
+            SampleBank::from_column_major(bank.n_types(), bank.n_samples(), bank.cols.clone());
+        assert_eq!(rebuilt.data, bank.data);
+        assert_eq!(rebuilt.cols, bank.cols);
+        assert_eq!(rebuilt.cols32, bank.cols32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_column_major_rejects_bad_shape() {
+        SampleBank::from_column_major(2, 3, vec![0; 5]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! (Section IV.A); the real-data evaluations fit distributions from logs.
 
 use crate::normal::{normal_cdf, normal_quantile};
+use crate::snapshot::DistParams;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,15 @@ pub trait CountDistribution: Send + Sync {
             }
         }
         self.support_max()
+    }
+
+    /// Constructor parameters for persistence, or `None` when the
+    /// distribution cannot be snapshotted. All models in this crate
+    /// override this; custom downstream distributions that keep the
+    /// default fail persistence with a typed error instead of silently
+    /// degrading.
+    fn snapshot_params(&self) -> Option<DistParams> {
+        None
     }
 }
 
@@ -165,6 +175,17 @@ impl CountDistribution for DiscretizedGaussian {
     fn support_min(&self) -> u64 {
         self.lo
     }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        // `with_halfwidth` / `with_coverage` both resolve to `on_window`,
+        // so (mean, std, lo, hi) reconstructs any path bit-exactly.
+        Some(DistParams::Gaussian {
+            mean: self.mean,
+            std: self.std,
+            lo: self.lo,
+            hi: self.hi,
+        })
+    }
 }
 
 /// Empirical distribution over observed per-period counts (used for the
@@ -215,6 +236,12 @@ impl CountDistribution for Empirical {
 
     fn support_max(&self) -> u64 {
         (self.weights.len() as u64).saturating_sub(1)
+    }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        Some(DistParams::Empirical {
+            weights: self.weights.clone(),
+        })
     }
 }
 
@@ -283,6 +310,13 @@ impl CountDistribution for Poisson {
         // default when callers only need the parameter.
         self.lambda
     }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        // `new(lambda)` derives the cap deterministically, so λ suffices.
+        Some(DistParams::Poisson {
+            lambda: self.lambda,
+        })
+    }
 }
 
 /// Truncated discrete power law ("Zipf-like") over `[0, cap]`:
@@ -329,6 +363,13 @@ impl CountDistribution for Zipf {
 
     fn support_max(&self) -> u64 {
         self.cap
+    }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        Some(DistParams::Zipf {
+            exponent: self.exponent,
+            cap: self.cap,
+        })
     }
 }
 
@@ -377,6 +418,21 @@ impl Mixture {
                 .collect(),
         }
     }
+
+    /// Build from **already-normalized** `(weight, component)` pairs,
+    /// trusting the weights bit-for-bit. This is the snapshot-restore
+    /// path: [`Mixture::new`] divides by the total, and re-dividing
+    /// persisted normalized weights would perturb their low bits and
+    /// break bit-exact reconstruction.
+    pub fn from_normalized(components: Vec<(f64, std::sync::Arc<dyn CountDistribution>)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6 && components.iter().all(|(w, _)| *w >= 0.0),
+            "weights must already be normalized"
+        );
+        Self { components }
+    }
 }
 
 impl CountDistribution for Mixture {
@@ -402,6 +458,16 @@ impl CountDistribution for Mixture {
 
     fn mean(&self) -> f64 {
         self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        // The *internal* (normalized) weights are persisted; restore goes
+        // through `from_normalized` so they survive bit-for-bit.
+        self.components
+            .iter()
+            .map(|(w, d)| d.snapshot_params().map(|p| (*w, p)))
+            .collect::<Option<Vec<_>>>()
+            .map(|components| DistParams::Mixture { components })
     }
 }
 
@@ -433,6 +499,10 @@ impl CountDistribution for Constant {
 
     fn sample(&self, _rng: &mut dyn rand::RngCore) -> u64 {
         self.0
+    }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        Some(DistParams::Constant(self.0))
     }
 }
 
@@ -474,6 +544,13 @@ impl CountDistribution for UniformCount {
 
     fn sample(&self, rng: &mut dyn rand::RngCore) -> u64 {
         rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn snapshot_params(&self) -> Option<DistParams> {
+        Some(DistParams::Uniform {
+            lo: self.lo,
+            hi: self.hi,
+        })
     }
 }
 

@@ -27,6 +27,7 @@ pub mod fit;
 pub mod gof;
 pub mod normal;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use bank::{BankChunk, JointCountModel, SampleBank};
@@ -36,4 +37,5 @@ pub use discrete::{
 };
 pub use fit::{fit_discretized_gaussian, fit_empirical, fit_gaussian_from_moments};
 pub use rng::seeded_rng;
+pub use snapshot::{DistParams, JointParams, Snapshot, SnapshotError};
 pub use stats::StreamingMoments;

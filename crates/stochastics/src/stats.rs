@@ -58,6 +58,20 @@ impl StreamingMoments {
     pub fn max(&self) -> u64 {
         self.max
     }
+
+    /// Raw second central moment accumulator (`Σ (x−mean)²` in Welford
+    /// form) — exposed for persistence so an accumulator can be restored
+    /// bit-for-bit across a service restart.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reassemble an accumulator from its persisted state. The inverse of
+    /// reading `count()`/`mean()`/`m2()`/`max()`: subsequent `push` calls
+    /// continue exactly where the saved accumulator left off.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, max: u64) -> Self {
+        Self { n, mean, m2, max }
+    }
 }
 
 /// Mean of a slice of f64 values.
@@ -186,6 +200,26 @@ mod tests {
         assert!((acc.mean() - 5.0).abs() < 1e-12);
         // Unbiased variance of this sample is 32/7 (see fit.rs).
         assert!((acc.sample_std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_moments_restore_from_parts_continues_exactly() {
+        let obs = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let mut whole = StreamingMoments::new();
+        let mut first = StreamingMoments::new();
+        for &o in &obs[..4] {
+            whole.push(o);
+            first.push(o);
+        }
+        let mut resumed =
+            StreamingMoments::from_parts(first.count(), first.mean(), first.m2(), first.max());
+        for &o in &obs[4..] {
+            whole.push(o);
+            resumed.push(o);
+        }
+        assert_eq!(resumed, whole);
+        assert_eq!(resumed.mean().to_bits(), whole.mean().to_bits());
+        assert_eq!(resumed.m2().to_bits(), whole.m2().to_bits());
     }
 
     #[test]

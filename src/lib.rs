@@ -25,6 +25,9 @@
 //! * [`conformance`] — the golden conformance harness solving every
 //!   registry scenario under every solver/detection-model combination
 //!   (snapshots in `tests/golden/`);
+//! * [`persist`] — the facade over the columnar snapshot stack: binary
+//!   container, scenario snapshots (spec + bank), and runtime service
+//!   checkpoints for warm restarts;
 //! * [`json`] — the minimal JSON layer behind the snapshots (the offline
 //!   serde shim has no data format);
 //! * [`telemetry`] — JSON rendering of the runtime's epoch telemetry
@@ -58,6 +61,7 @@ pub use tdmt;
 
 pub mod conformance;
 pub mod json;
+pub mod persist;
 pub mod scenario;
 pub mod telemetry;
 

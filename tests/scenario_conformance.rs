@@ -96,8 +96,23 @@ fn no_stray_golden_snapshots() {
     for entry in entries {
         let name = entry.expect("dir entry").file_name();
         let name = name.to_string_lossy().to_string();
+        if name.ends_with(".snap") {
+            // The persistence layer pins its on-disk byte layout with one
+            // binary golden per format version (see tests/persist_roundtrip.rs).
+            // A version bump must retire the old file alongside adding the
+            // new one, or the stale pin would linger here unguarded.
+            let want = format!(
+                "persist_format_v{}.snap",
+                alert_audit::persist::FORMAT_VERSION
+            );
+            assert_eq!(
+                name, want,
+                "stray binary golden {name}: the current format golden is {want}"
+            );
+            continue;
+        }
         let Some(stem) = name.strip_suffix(".json") else {
-            panic!("non-JSON file in tests/golden: {name}");
+            panic!("unexpected file in tests/golden: {name}");
         };
         assert!(
             keys.iter().any(|k| k == stem),
