@@ -149,6 +149,17 @@ fn main() {
         "telemetry fingerprint: {:016x}",
         report.fingerprint()
     ));
+    let launched: u64 = report.epochs.iter().map(|e| e.attacks_launched).sum();
+    if launched > 0 {
+        let detected: u64 = report.epochs.iter().map(|e| e.attacks_detected).sum();
+        let utility: f64 = report.epochs.iter().map(|e| e.attacker_utility).sum();
+        let damage: f64 = report.epochs.iter().map(|e| e.auditor_damage).sum();
+        summary(format!(
+            "attacks: launched={launched} detected={detected} attacker-utility={} auditor-damage={}",
+            f4(utility),
+            f4(damage)
+        ));
+    }
     if let Some(stats) = report.resolve_stats() {
         summary(match (stats.mean_cold_millis, stats.speedup) {
             (Some(cold), Some(speedup)) => format!(

@@ -1,0 +1,186 @@
+//! Seeded scenario fuzzer: random-but-reproducible [`GameSpec`]s for
+//! property testing far beyond the hand-built registry families.
+//!
+//! [`fuzz_game`] maps `(config, seed)` deterministically onto a valid
+//! game: a mixed zoo of count distributions (constant, discretized
+//! Gaussian, Poisson, Zipf), heterogeneous audit costs, stochastic
+//! two-type attack footprints, benign accesses, and randomized budgets
+//! and opt-out flags. Every draw comes from the same nonce-separated
+//! stream RNG the scenario generators use, so a failing seed reproduces
+//! bit-identically anywhere.
+//!
+//! The integration suite `tests/scenario_fuzz.rs` drives this through
+//! the solver-independent game properties (budget monotonicity, λ→∞
+//! quantal-response convergence, general-sum/zero-sum agreement,
+//! CGGS-vs-brute-force at small scale); CI runs it in release mode with
+//! a fixed seed range.
+
+use crate::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
+use rand::Rng;
+use std::sync::Arc;
+use stochastics::rng::stream_rng;
+use stochastics::{Constant, CountDistribution, DiscretizedGaussian, Poisson, Zipf};
+
+/// Size and shape bounds for [`fuzz_game`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzConfig {
+    /// Maximum number of alert types (≥ 2 drawn uniformly in `2..=max`).
+    pub max_types: usize,
+    /// Maximum number of attackers (≥ 1).
+    pub max_attackers: usize,
+    /// Maximum number of victims per attacker (≥ 1).
+    pub max_victims: usize,
+    /// Whether actions may carry stochastic two-type footprints.
+    pub stochastic_footprints: bool,
+    /// Upper bound on every count distribution's support maximum — keeps
+    /// brute-force threshold lattices tractable when a property needs the
+    /// exact baseline.
+    pub max_support: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            max_types: 4,
+            max_attackers: 4,
+            max_victims: 5,
+            stochastic_footprints: true,
+            max_support: 12,
+        }
+    }
+}
+
+/// Nonce separating the fuzzer's RNG stream from the scenario generators.
+const FUZZ_NONCE: u64 = 0xF022;
+
+fn fuzz_distribution<R: Rng>(rng: &mut R, max_support: u64) -> Arc<dyn CountDistribution> {
+    let cap = max_support.max(2);
+    match rng.gen_range(0..4u32) {
+        0 => Arc::new(Constant(rng.gen_range(1..=cap.min(4)))),
+        1 => {
+            let mean = rng.gen_range(1.5..(cap as f64 * 0.6).max(2.0));
+            let std = rng.gen_range(0.6..1.8);
+            let half = rng.gen_range(1..=(cap / 2).max(1));
+            let half = half.min(cap.saturating_sub(mean.ceil() as u64).max(1));
+            Arc::new(DiscretizedGaussian::with_halfwidth(mean, std, half))
+        }
+        2 => {
+            // Poisson's support cap is the 1 - 1e-9 quantile; keep the
+            // mean low enough that the cap stays within max_support.
+            let mean = rng.gen_range(0.5..(cap as f64 / 3.0).max(0.8));
+            Arc::new(Poisson::new(mean))
+        }
+        _ => {
+            let s = rng.gen_range(1.5..2.8);
+            Arc::new(Zipf::new(s, rng.gen_range(2..=cap)))
+        }
+    }
+}
+
+/// Generate a random valid game from `(config, seed)`, deterministically.
+pub fn fuzz_game(config: &FuzzConfig, seed: u64) -> GameSpec {
+    assert!(config.max_types >= 2, "need at least two alert types");
+    assert!(config.max_attackers >= 1 && config.max_victims >= 1);
+    let mut rng = stream_rng(seed, FUZZ_NONCE);
+    let n_types = rng.gen_range(2..=config.max_types);
+    let n_attackers = rng.gen_range(1..=config.max_attackers);
+    let n_victims = rng.gen_range(1..=config.max_victims);
+
+    let mut b = GameSpecBuilder::new();
+    for t in 0..n_types {
+        let cost = 0.5 * rng.gen_range(1..=3u32) as f64;
+        b.alert_type(
+            format!("F{t}"),
+            cost,
+            fuzz_distribution(&mut rng, config.max_support),
+        );
+    }
+    for e in 0..n_attackers {
+        let attack_prob = rng.gen_range(0.3..1.0);
+        let actions: Vec<AttackAction> = (0..n_victims)
+            .map(|v| {
+                if rng.gen_bool(0.1) {
+                    return AttackAction::benign(format!("v{v}"), rng.gen_range(0.0..0.5));
+                }
+                let t = rng.gen_range(0..n_types);
+                let reward = rng.gen_range(2.0..8.0);
+                let cost = rng.gen_range(0.0..1.0);
+                let penalty = rng.gen_range(2.0..6.0);
+                if config.stochastic_footprints && rng.gen_bool(0.4) {
+                    let spill = rng.gen_range(0.1..0.4);
+                    let other = (t + 1) % n_types;
+                    AttackAction {
+                        victim: format!("v{v}"),
+                        alert_probs: vec![(t, 1.0 - spill), (other, spill)],
+                        reward,
+                        attack_cost: cost,
+                        penalty,
+                    }
+                } else {
+                    AttackAction::deterministic(format!("v{v}"), t, reward, cost, penalty)
+                }
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), attack_prob, actions));
+    }
+    b.budget(rng.gen_range(1.0..(1.5 * n_types as f64 + 1.0)));
+    b.allow_opt_out(rng.gen_bool(0.5));
+    b.build().expect("fuzzed game is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_is_deterministic_in_the_seed() {
+        let cfg = FuzzConfig::default();
+        for seed in 0..8 {
+            let a = fuzz_game(&cfg, seed);
+            let b = fuzz_game(&cfg, seed);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fuzz_responds_to_the_seed() {
+        let cfg = FuzzConfig::default();
+        let prints: Vec<u64> = (0..16).map(|s| fuzz_game(&cfg, s).fingerprint()).collect();
+        let mut unique = prints.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() >= 12, "only {} distinct games", unique.len());
+    }
+
+    #[test]
+    fn fuzzed_games_validate_and_respect_bounds() {
+        let cfg = FuzzConfig::default();
+        for seed in 0..50 {
+            let g = fuzz_game(&cfg, seed);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(g.n_types() >= 2 && g.n_types() <= cfg.max_types);
+            assert!(g.n_attackers() >= 1 && g.n_attackers() <= cfg.max_attackers);
+            assert!(g.budget > 0.0);
+        }
+    }
+
+    #[test]
+    fn small_profile_keeps_brute_force_tractable() {
+        let cfg = FuzzConfig {
+            max_types: 2,
+            max_attackers: 3,
+            max_victims: 3,
+            max_support: 4,
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            let g = fuzz_game(&cfg, seed);
+            let bounds = g.threshold_upper_bounds();
+            assert_eq!(bounds.len(), g.n_types());
+            // Poisson tails may stretch past the nominal cap, but the
+            // lattice must stay small enough to enumerate.
+            let cells: f64 = bounds.iter().map(|&b| b + 1.0).product();
+            assert!(cells <= 900.0, "seed {seed}: lattice {cells} too large");
+        }
+    }
+}

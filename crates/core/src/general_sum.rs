@@ -173,6 +173,32 @@ mod tests {
     }
 
     #[test]
+    fn identity_model_equals_zero_sum_loss_when_attacks_are_free() {
+        // With K = 0 the per-action damage under the identity DamageModel
+        // is literally the attacker utility (detection_prob is linear in
+        // pal, and both sides evaluate at the mixture-weighted pal), so
+        // general-sum scoring coincides with the zero-sum loss exactly.
+        let mut s = spec();
+        for att in &mut s.attackers {
+            for a in &mut att.actions {
+                a.attack_cost = 0.0;
+            }
+        }
+        let bank = s.sample_bank(32, 0);
+        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[1.0, 2.0]);
+        let master = MasterSolver::solve(&s, &matrix).unwrap();
+        for p in [master.p_orders.clone(), vec![0.5, 0.5]] {
+            let zero_sum = matrix.loss_under_mixture(&s, &p);
+            let general = damage_under_mixture(&s, &matrix, &p, &DamageModel::default());
+            assert!(
+                (general - zero_sum).abs() <= 1e-9 * zero_sum.abs().max(1.0),
+                "general {general} vs zero-sum {zero_sum}"
+            );
+        }
+    }
+
+    #[test]
     fn damage_scales_with_multiplier() {
         let s = spec();
         let bank = s.sample_bank(32, 0);

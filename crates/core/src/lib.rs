@@ -51,7 +51,12 @@
 //! * [`scenario`] — the scenario substrate: a [`scenario::Scenario`]
 //!   trait mapping a seed to a solvable game, with a string-keyed
 //!   [`scenario::Registry`] of built-in settings (Syn A variants plus
-//!   heavy-tail / correlated / seasonal synthetic families).
+//!   heavy-tail / correlated / seasonal / strategic-attacker families);
+//! * [`attacker`] — the [`attacker::AttackerModel`] seam declaring which
+//!   behavioural model (rational, quantal, general-sum, adaptive) a
+//!   scenario's adversary follows;
+//! * [`fuzz`] — a seeded random-game generator for property fuzzing
+//!   beyond the hand-built scenario families.
 //!
 //! ## Quick start
 //!
@@ -69,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod attacker;
 pub mod baselines;
 pub mod brute_force;
 pub mod cggs;
@@ -76,6 +82,7 @@ pub mod datasets;
 pub mod detection;
 pub mod error;
 pub mod execute;
+pub mod fuzz;
 pub mod general_sum;
 pub mod hardness;
 pub mod ishm;
@@ -92,6 +99,7 @@ pub mod solver;
 
 /// Convenient re-exports of the main public types.
 pub mod prelude {
+    pub use crate::attacker::{AdaptiveConfig, AttackerModel};
     pub use crate::baselines::{
         greedy_by_benefit_loss, random_orders_loss, random_thresholds_loss,
     };
@@ -101,6 +109,8 @@ pub mod prelude {
     };
     pub use crate::error::GameError;
     pub use crate::execute::{AuditPolicy, AuditRun};
+    pub use crate::fuzz::{fuzz_game, FuzzConfig};
+    pub use crate::general_sum::DamageModel;
     pub use crate::ishm::{Ishm, IshmConfig, IshmOutcome};
     pub use crate::master::{MasterSolution, MasterSolver};
     pub use crate::model::{AlertType, AttackAction, Attacker, GameSpec};

@@ -25,7 +25,7 @@ use crate::payoff::PayoffMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Quantal-response model parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantalResponse {
     /// Rationality parameter λ ≥ 0.
     pub lambda: f64,
@@ -231,6 +231,27 @@ mod tests {
         // and is weakly lower (random attackers exploit less).
         assert!((qr_sharp - rational).abs() < 1e-6);
         assert!(qr_soft <= rational + 1e-9);
+    }
+
+    #[test]
+    fn qr_loss_is_monotone_in_lambda_on_a_fixed_policy() {
+        // dE/dλ of a logit expectation is the variance of the utilities
+        // under the choice distribution — non-negative — so the auditor's
+        // QR loss at any fixed policy is non-decreasing in λ.
+        let s = spec();
+        let bank = s.sample_bank(32, 3);
+        let est = DetectionEstimator::new(&s, &bank, DetectionModel::PaperApprox);
+        let matrix = PayoffMatrix::build(&s, &est, AuditOrder::enumerate_all(2), &[1.0, 0.0]);
+        let p = vec![0.25, 0.75];
+        let mut prev = f64::NEG_INFINITY;
+        for lambda in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0] {
+            let loss = QuantalResponse::new(lambda).loss_under_mixture(&s, &matrix, &p);
+            assert!(
+                loss >= prev - 1e-12,
+                "loss {loss} at lambda {lambda} dropped below {prev}"
+            );
+            prev = loss;
+        }
     }
 
     #[test]

@@ -26,10 +26,13 @@
 //! `alert_audit::scenario::registry()` assembles the full cross-crate
 //! registry. [`registry`] here returns the core subset.
 
+use crate::attacker::{AdaptiveConfig, AttackerModel};
 use crate::datasets::syn_a_with_budget;
 use crate::error::GameError;
+use crate::general_sum::DamageModel;
 use crate::model::{AttackAction, Attacker, GameSpec, GameSpecBuilder};
 use crate::persist::{load_scenario_snapshot, PersistError};
+use crate::quantal::QuantalResponse;
 use rand::Rng;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -66,6 +69,14 @@ pub trait Scenario: Send + Sync {
     /// A reasonable ISHM step size for this scenario's scale.
     fn suggested_epsilon(&self) -> f64 {
         0.25
+    }
+
+    /// Which behavioural model the scenario's adversary follows. Defaults
+    /// to the paper's fully rational zero-sum attacker; strategic-attacker
+    /// scenarios override this, and the conformance matrix and the online
+    /// runtime branch on it (see [`crate::attacker::AttackerModel`]).
+    fn attacker_model(&self) -> AttackerModel {
+        AttackerModel::Rational
     }
 
     /// Compile the scenario to a full-scale game.
@@ -285,6 +296,9 @@ pub fn registry() -> Registry {
     r.register(Arc::new(HeavyTail));
     r.register(Arc::new(Correlated));
     r.register(Arc::new(Seasonal));
+    r.register(Arc::new(Quantal));
+    r.register(Arc::new(GeneralSum));
+    r.register(Arc::new(Adaptive));
     r
 }
 
@@ -729,6 +743,214 @@ impl Scenario for Seasonal {
     }
 }
 
+// ---------------------------------------------------------------------
+// Strategic-attacker families (quantal / general-sum / adaptive)
+// ---------------------------------------------------------------------
+
+/// The λ the quantal scenario's attackers respond with: soft enough that
+/// dominated actions keep real probability mass, sharp enough that the
+/// best response still dominates.
+pub const QUANTAL_LAMBDA: f64 = 1.5;
+
+/// Boundedly rational attackers: 3 Gaussian alert types and a seeded
+/// attack grid, with [`Scenario::attacker_model`] declaring a
+/// quantal-response population at [`QUANTAL_LAMBDA`].
+struct Quantal;
+
+fn quantal_game(seed: u64, n_attackers: usize, n_victims: usize) -> Result<GameSpec, GameError> {
+    const MEANS: [f64; 3] = [5.0, 4.0, 3.0];
+    const STDS: [f64; 3] = [1.5, 1.2, 1.0];
+    const BENEFITS: [f64; 3] = [3.0, 3.8, 4.4];
+    let mut b = GameSpecBuilder::new();
+    for t in 0..3 {
+        b.alert_type(
+            format!("Q{}", t + 1),
+            1.0,
+            Arc::new(DiscretizedGaussian::with_halfwidth(MEANS[t], STDS[t], 4)),
+        );
+    }
+    let mut rng = stream_rng(seed, 0x9A7A);
+    for e in 0..n_attackers {
+        let actions: Vec<AttackAction> = (0..n_victims)
+            .map(|v| {
+                let t = rng.gen_range(0..3usize);
+                let jitter = rng.gen_range(0.0..0.6);
+                AttackAction::deterministic(format!("v{v}"), t, BENEFITS[t] + jitter, 0.4, 4.0)
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), 1.0, actions));
+    }
+    b.budget(3.0);
+    b.allow_opt_out(true);
+    b.build()
+}
+
+impl Scenario for Quantal {
+    fn key(&self) -> &str {
+        "syn-quantal"
+    }
+
+    fn source(&self) -> &str {
+        "core"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "boundedly rational attackers: 3 Gaussian types, logit responses at lambda {QUANTAL_LAMBDA}"
+        )
+    }
+
+    fn suggested_epsilon(&self) -> f64 {
+        0.3
+    }
+
+    fn attacker_model(&self) -> AttackerModel {
+        AttackerModel::Quantal(QuantalResponse::new(QUANTAL_LAMBDA))
+    }
+
+    fn build(&self, seed: u64) -> Result<GameSpec, GameError> {
+        quantal_game(seed, 4, 4)
+    }
+
+    fn build_small(&self, seed: u64) -> Result<GameSpec, GameError> {
+        quantal_game(seed, 3, 3)
+    }
+}
+
+/// General-sum damage: the attacker plays the same zero-sum game, but the
+/// auditor scores policies by organizational damage (fines dwarfing the
+/// insider's gain, partial recovery on detection).
+struct GeneralSum;
+
+fn general_sum_game(
+    seed: u64,
+    n_attackers: usize,
+    n_victims: usize,
+) -> Result<GameSpec, GameError> {
+    const BENEFITS: [f64; 3] = [3.4, 4.0, 4.8];
+    let mut b = GameSpecBuilder::new();
+    for t in 0..3 {
+        b.alert_type(
+            format!("G{}", t + 1),
+            1.0,
+            Arc::new(Poisson::new(4.0 - t as f64)),
+        );
+    }
+    let mut rng = stream_rng(seed, 0x65D0);
+    for e in 0..n_attackers {
+        let actions: Vec<AttackAction> = (0..n_victims)
+            .map(|v| {
+                if rng.gen_bool(0.1) {
+                    AttackAction::benign(format!("v{v}"), 0.4)
+                } else {
+                    let t = rng.gen_range(0..3usize);
+                    AttackAction::deterministic(format!("v{v}"), t, BENEFITS[t], 0.4, 4.0)
+                }
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), 1.0, actions));
+    }
+    b.budget(3.0);
+    b.allow_opt_out(true);
+    b.build()
+}
+
+impl Scenario for GeneralSum {
+    fn key(&self) -> &str {
+        "syn-general-sum"
+    }
+
+    fn source(&self) -> &str {
+        "core"
+    }
+
+    fn describe(&self) -> String {
+        "general-sum damage: 3 Poisson types, auditor scores 3x reward damage, 0.5x recovery".into()
+    }
+
+    fn suggested_epsilon(&self) -> f64 {
+        0.3
+    }
+
+    fn attacker_model(&self) -> AttackerModel {
+        AttackerModel::GeneralSum(DamageModel {
+            damage_per_reward: 3.0,
+            recovery_per_penalty: 0.5,
+        })
+    }
+
+    fn build(&self, seed: u64) -> Result<GameSpec, GameError> {
+        general_sum_game(seed, 4, 5)
+    }
+
+    fn build_small(&self, seed: u64) -> Result<GameSpec, GameError> {
+        general_sum_game(seed, 3, 4)
+    }
+}
+
+/// Adaptive repeated-game attackers: the runtime publishes a policy per
+/// epoch and these attackers best-respond to an EWMA belief over the
+/// published per-type detection probabilities.
+struct Adaptive;
+
+fn adaptive_game(seed: u64, n_attackers: usize, n_victims: usize) -> Result<GameSpec, GameError> {
+    const BENEFITS: [f64; 3] = [3.2, 3.9, 4.5];
+    let mut b = GameSpecBuilder::new();
+    for t in 0..3 {
+        b.alert_type(
+            format!("A{}", t + 1),
+            1.0,
+            Arc::new(Poisson::new(4.0 - t as f64)),
+        );
+    }
+    let mut rng = stream_rng(seed, 0xADA7);
+    for e in 0..n_attackers {
+        let attack_prob = 0.5 + 0.3 * (e as f64 / n_attackers.max(1) as f64);
+        let actions: Vec<AttackAction> = (0..n_victims)
+            .map(|v| {
+                let t = rng.gen_range(0..3usize);
+                let jitter = rng.gen_range(0.0..0.5);
+                AttackAction::deterministic(format!("v{v}"), t, BENEFITS[t] + jitter, 0.4, 4.0)
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), attack_prob, actions));
+    }
+    b.budget(3.0);
+    b.allow_opt_out(true);
+    b.build()
+}
+
+impl Scenario for Adaptive {
+    fn key(&self) -> &str {
+        "syn-adaptive"
+    }
+
+    fn source(&self) -> &str {
+        "core"
+    }
+
+    fn describe(&self) -> String {
+        "adaptive repeated-game attackers: 3 Poisson types, EWMA best-response to published policy"
+            .into()
+    }
+
+    fn suggested_epsilon(&self) -> f64 {
+        0.3
+    }
+
+    fn attacker_model(&self) -> AttackerModel {
+        AttackerModel::Adaptive(AdaptiveConfig { learning_rate: 0.5 })
+    }
+
+    fn build(&self, seed: u64) -> Result<GameSpec, GameError> {
+        adaptive_game(seed, 4, 4)
+    }
+
+    fn build_small(&self, seed: u64) -> Result<GameSpec, GameError> {
+        adaptive_game(seed, 3, 3)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,10 +967,13 @@ mod tests {
                 "syn-a-b20",
                 "syn-heavy-tail",
                 "syn-correlated",
-                "syn-seasonal"
+                "syn-seasonal",
+                "syn-quantal",
+                "syn-general-sum",
+                "syn-adaptive"
             ]
         );
-        assert_eq!(r.len(), 6);
+        assert_eq!(r.len(), 9);
         assert!(!r.is_empty());
     }
 
@@ -801,13 +1026,43 @@ mod tests {
             assert_eq!(a, b, "{} not reproducible", sc.key());
         }
         // Seeded generators must actually respond to the seed.
-        for key in ["syn-heavy-tail", "syn-correlated", "syn-seasonal"] {
+        for key in [
+            "syn-heavy-tail",
+            "syn-correlated",
+            "syn-seasonal",
+            "syn-quantal",
+            "syn-general-sum",
+            "syn-adaptive",
+        ] {
             let sc = r.get(key).unwrap();
             assert_ne!(
                 sc.build(3).unwrap().fingerprint(),
                 sc.build(4).unwrap().fingerprint(),
                 "{key} ignores its seed"
             );
+        }
+    }
+
+    #[test]
+    fn attacker_models_are_declared_where_expected() {
+        let r = registry();
+        for (key, want) in [
+            ("syn-a", "rational"),
+            ("syn-seasonal", "rational"),
+            ("syn-quantal", "quantal"),
+            ("syn-general-sum", "general-sum"),
+            ("syn-adaptive", "adaptive"),
+        ] {
+            let sc = r.get(key).unwrap();
+            assert_eq!(sc.attacker_model().key(), want, "{key}");
+        }
+        match r.get("syn-quantal").unwrap().attacker_model() {
+            AttackerModel::Quantal(qr) => assert_eq!(qr.lambda, QUANTAL_LAMBDA),
+            other => panic!("expected quantal, got {other:?}"),
+        }
+        match r.get("syn-adaptive").unwrap().attacker_model() {
+            AttackerModel::Adaptive(cfg) => assert!(cfg.learning_rate > 0.0),
+            other => panic!("expected adaptive, got {other:?}"),
         }
     }
 
@@ -931,7 +1186,14 @@ mod tests {
     #[test]
     fn small_scenarios_solve_through_the_facade() {
         let r = registry();
-        for key in ["syn-heavy-tail", "syn-correlated", "syn-seasonal"] {
+        for key in [
+            "syn-heavy-tail",
+            "syn-correlated",
+            "syn-seasonal",
+            "syn-quantal",
+            "syn-general-sum",
+            "syn-adaptive",
+        ] {
             let sc = r.get(key).unwrap();
             let spec = sc.build_small(sc.default_seed()).unwrap();
             let sol = OapSolver::new(SolverConfig {

@@ -221,6 +221,7 @@ struct Cursor {
     loss: f64,
     initial_objective: f64,
     initial_solve_millis: f64,
+    attacker_belief: Vec<f64>,
     telemetry_fingerprint: u64,
 }
 
@@ -233,21 +234,37 @@ fn encode_cursor(snap: &mut Snapshot, key: &str, state: &ServiceState, fingerpri
     w.put_f64(state.loss);
     w.put_f64(state.initial_objective);
     w.put_f64(state.initial_solve_millis);
+    w.put_f64s(&state.attacker_belief);
     w.put_u64(fingerprint);
     snap.add_section(TAG_RT_CURSOR, w);
 }
 
 fn decode_cursor(snap: &Snapshot) -> Result<Cursor, PersistError> {
     let mut r = snap.section(TAG_RT_CURSOR)?;
+    let key = r.get_str()?;
+    let epoch = r.get_usize()?;
+    let next_alert_id = r.get_u64()?;
+    let epochs_since_resolve = r.get_usize()?;
+    let loss = r.get_f64()?;
+    let initial_objective = r.get_f64()?;
+    let initial_solve_millis = r.get_f64()?;
+    let attacker_belief = r.get_f64s()?;
+    let telemetry_fingerprint = r.get_u64()?;
+    if !attacker_belief.iter().all(|b| b.is_finite()) {
+        return Err(PersistError::Spec(
+            "non-finite attacker belief in cursor".into(),
+        ));
+    }
     Ok(Cursor {
-        key: r.get_str()?,
-        epoch: r.get_usize()?,
-        next_alert_id: r.get_u64()?,
-        epochs_since_resolve: r.get_usize()?,
-        loss: r.get_f64()?,
-        initial_objective: r.get_f64()?,
-        initial_solve_millis: r.get_f64()?,
-        telemetry_fingerprint: r.get_u64()?,
+        key,
+        epoch,
+        next_alert_id,
+        epochs_since_resolve,
+        loss,
+        initial_objective,
+        initial_solve_millis,
+        attacker_belief,
+        telemetry_fingerprint,
     })
 }
 
@@ -355,6 +372,10 @@ fn encode_telemetry(snap: &mut Snapshot, records: &[EpochTelemetry]) {
         w.put_usize(e.epochs_since_resolve);
         w.put_f64(e.objective);
         w.put_f64s(&e.thresholds);
+        w.put_u64(e.attacks_launched);
+        w.put_u64(e.attacks_detected);
+        w.put_f64(e.attacker_utility);
+        w.put_f64(e.auditor_damage);
         put_opt_usize(&mut w, e.solve_explored);
         put_opt_f64(&mut w, e.solve_millis);
         put_opt_f64(&mut w, e.cold_objective);
@@ -384,6 +405,10 @@ fn decode_telemetry(snap: &Snapshot) -> Result<Vec<EpochTelemetry>, PersistError
             epochs_since_resolve: r.get_usize()?,
             objective: r.get_f64()?,
             thresholds: r.get_f64s()?,
+            attacks_launched: r.get_u64()?,
+            attacks_detected: r.get_u64()?,
+            attacker_utility: r.get_f64()?,
+            auditor_damage: r.get_f64()?,
             solve_explored: get_opt_usize(&mut r)?,
             solve_millis: get_opt_f64(&mut r)?,
             cold_objective: get_opt_f64(&mut r)?,
@@ -525,6 +550,13 @@ pub fn load_checkpoint(dir: &Path) -> Result<LoadedCheckpoint, PersistError> {
             "policy or drift tracker arity disagrees with the spec".into(),
         ));
     }
+    if cursor.attacker_belief.len() != loaded.spec.n_types() {
+        return Err(PersistError::Provenance(format!(
+            "attacker belief covers {} types, spec has {}",
+            cursor.attacker_belief.len(),
+            loaded.spec.n_types()
+        )));
+    }
     // End-to-end integrity probe: the persisted bank must equal a fresh
     // regeneration from the (fingerprint-verified) spec.
     let regen = loaded
@@ -551,6 +583,7 @@ pub fn load_checkpoint(dir: &Path) -> Result<LoadedCheckpoint, PersistError> {
         initial_objective: cursor.initial_objective,
         initial_solve_millis: cursor.initial_solve_millis,
         predicted,
+        attacker_belief: cursor.attacker_belief,
         records,
     };
     // Close the telemetry chain: the partial report reconstructed from

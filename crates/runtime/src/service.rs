@@ -33,13 +33,16 @@
 
 use crate::online::{DriftConfig, OnlineFit};
 use crate::telemetry::{EpochTelemetry, RuntimeReport};
+use audit_game::attacker::AttackerModel;
 use audit_game::detection::{CacheStats, DetectionEstimator, PalEngine};
 use audit_game::error::GameError;
 use audit_game::execute::{execute_policy, AuditPolicy, RealizedAlert};
 use audit_game::model::GameSpec;
+use audit_game::payoff::action_utility;
 use audit_game::persist::PersistError;
 use audit_game::scenario::Scenario;
 use audit_game::solver::{InnerKind, OapSolver, SolverConfig, WarmStart};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
@@ -51,6 +54,14 @@ use stochastics::rng::stream_rng;
 /// from the scenario build/stream and solver bank streams, and derived
 /// (not carried), so checkpoint/restore never persists RNG state.
 pub const EXEC_STREAM_BASE: u64 = 0x0E0C_0000_0000_0000;
+
+/// High bits of the strategic-attack randomness streams: period `i` of a
+/// non-rational scenario draws its attack traffic from
+/// `stream_rng(seed, ATTACK_STREAM_BASE ^ i)`. Disjoint from
+/// [`EXEC_STREAM_BASE`] and every scenario/solver stream; rational
+/// scenarios never touch it, keeping their runs bit-identical to the
+/// pre-seam behaviour.
+pub const ATTACK_STREAM_BASE: u64 = 0x0A77_0000_0000_0000;
 
 /// Configuration of one service run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -179,6 +190,13 @@ pub struct ServiceState {
     /// on the solver's sample bank for the committed spec. Derived state:
     /// recomputed (bit-identically) from `spec` + `policy` on restore.
     pub predicted: Vec<f64>,
+    /// The strategic attacker's belief over per-type detection
+    /// probabilities: an EWMA of the *published* predicted `Pal` vectors,
+    /// updated at every epoch boundary with the scenario's learning rate.
+    /// Starts at zero (the attacker has seen no policy yet). Persisted in
+    /// checkpoints — unlike `predicted` it depends on the whole policy
+    /// history, not just the incumbent.
+    pub attacker_belief: Vec<f64>,
     /// Telemetry of the epochs already run.
     pub records: Vec<EpochTelemetry>,
 }
@@ -291,6 +309,7 @@ impl AuditService {
             epoch: 0,
             spec,
             predicted,
+            attacker_belief: vec![0.0; n],
             loss: solution.loss,
             engine_cache: solution.cache,
             policy: solution.policy,
@@ -326,11 +345,17 @@ impl AuditService {
         let epoch = st.epoch;
         let n = st.spec.n_types();
         let solver = OapSolver::new(cfg.solver.clone());
+        let model = self.scenario.attacker_model();
 
         // --- execute the committed policy, one period at a time ---
         let mut seen = vec![0u64; n];
         let mut audited = vec![0u64; n];
         let mut spent = 0.0f64;
+        let mut attacks_launched = 0u64;
+        let mut attacks_detected = 0u64;
+        let mut attacker_utility = 0.0f64;
+        let mut auditor_damage = 0.0f64;
+        let damage_model = model.damage_model();
         for period in 0..cfg.periods_per_epoch {
             let period_index = epoch * cfg.periods_per_epoch + period;
             let row = &stream[period_index];
@@ -345,6 +370,67 @@ impl AuditService {
                     st.next_alert_id += 1;
                 }
             }
+            // --- strategic attack traffic (non-rational scenarios only) ---
+            // Each active attacker responds to its belief about the
+            // committed policy: the adaptive model's EWMA over published
+            // policies, or the current published prediction otherwise.
+            // Rational scenarios inject nothing and draw no randomness, so
+            // their runs stay bit-identical to the pre-seam service.
+            let mut pending: Vec<(Option<RealizedAlert>, f64, f64, f64)> = Vec::new();
+            let mut observed = if model.is_rational() {
+                Vec::new()
+            } else {
+                row.clone()
+            };
+            if !model.is_rational() {
+                let belief = if matches!(model, AttackerModel::Adaptive(_)) {
+                    &st.attacker_belief
+                } else {
+                    &st.predicted
+                };
+                let mut attack_rng = stream_rng(cfg.seed, ATTACK_STREAM_BASE ^ period_index as u64);
+                for att in &st.spec.attackers {
+                    if att.actions.is_empty()
+                        || !attack_rng.gen_bool(att.attack_prob.clamp(0.0, 1.0))
+                    {
+                        continue;
+                    }
+                    let utilities: Vec<f64> = att
+                        .actions
+                        .iter()
+                        .map(|a| action_utility(a, belief))
+                        .collect();
+                    let Some(pick) =
+                        model.choose_action(&utilities, st.spec.allow_opt_out, &mut attack_rng)
+                    else {
+                        continue; // deterred
+                    };
+                    let action = &att.actions[pick];
+                    attacks_launched += 1;
+                    // The attack raises at most one alert: `alert_probs`
+                    // are mutually exclusive type probabilities (that is
+                    // what makes `Pat = Σ_t P^t · Pal_t` exact).
+                    let u: f64 = attack_rng.gen();
+                    let mut acc = 0.0;
+                    let mut raised = None;
+                    for &(t, p) in &action.alert_probs {
+                        acc += p;
+                        if u <= acc {
+                            let alert = RealizedAlert {
+                                alert_type: t,
+                                id: st.next_alert_id,
+                            };
+                            st.next_alert_id += 1;
+                            seen[t] += 1;
+                            observed[t] += 1;
+                            alerts.push(alert.clone());
+                            raised = Some(alert);
+                            break;
+                        }
+                    }
+                    pending.push((raised, action.reward, action.attack_cost, action.penalty));
+                }
+            }
             // Execution randomness is a fresh derived stream per period,
             // so a restored run re-derives the exact remaining streams
             // without any generator state in the checkpoint.
@@ -354,7 +440,25 @@ impl AuditService {
                 audited[t] += ids.len() as u64;
             }
             spent += run.spent;
-            st.fit.observe(row);
+            for (raised, reward, cost, penalty) in pending {
+                let caught = raised.as_ref().is_some_and(|a| run.contains(a));
+                if caught {
+                    attacks_detected += 1;
+                    attacker_utility += -penalty - cost;
+                    auditor_damage -= damage_model.recovery_per_penalty * penalty;
+                } else {
+                    attacker_utility += reward - cost;
+                    auditor_damage += damage_model.damage_per_reward * reward;
+                }
+            }
+            // The drift tracker sees what an operational fit would see:
+            // the full alert traffic, attacks included — which is exactly
+            // how an adapting attacker population can trip the gate.
+            if model.is_rational() {
+                st.fit.observe(row);
+            } else {
+                st.fit.observe(&observed);
+            }
         }
         let realized_rate: Vec<f64> = seen
             .iter()
@@ -372,6 +476,15 @@ impl AuditService {
         // actually executed this epoch — the vector `pal_gap` was
         // computed against — even if a re-solve below replaces it.
         let predicted_executed = st.predicted.clone();
+
+        // The strategic attacker observed one more epoch of the published
+        // policy: fold it into the EWMA belief. Rational scenarios carry
+        // the belief too (it is cheap and keeps the state uniform), they
+        // just never read it.
+        let lr = model.belief_learning_rate();
+        for (b, &p) in st.attacker_belief.iter_mut().zip(&predicted_executed) {
+            *b = (1.0 - lr) * *b + lr * p;
+        }
 
         // --- drift gate ---
         let max_ks = st.fit.max_ks(&st.spec.distributions);
@@ -443,6 +556,10 @@ impl AuditService {
             epochs_since_resolve: gate_age,
             objective: st.loss,
             thresholds: st.policy.thresholds.clone(),
+            attacks_launched,
+            attacks_detected,
+            attacker_utility,
+            auditor_damage,
             solve_explored,
             solve_millis,
             cold_objective,

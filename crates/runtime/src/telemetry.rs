@@ -50,6 +50,16 @@ pub struct EpochTelemetry {
     pub objective: f64,
     /// Committed per-type thresholds.
     pub thresholds: Vec<f64>,
+    /// Simulated strategic attacks launched this epoch (0 for scenarios
+    /// with the rational paper attacker — no attack traffic is injected).
+    pub attacks_launched: u64,
+    /// Of those, how many the executed policy caught.
+    pub attacks_detected: u64,
+    /// Realized total attacker utility over the epoch's attacks.
+    pub attacker_utility: f64,
+    /// Realized auditor damage under the scenario's damage model
+    /// (negative contributions are recovered value on detection).
+    pub auditor_damage: f64,
     /// Threshold vectors the re-solve explored (LP evaluations), when one
     /// ran — the deterministic cost measure of the solve.
     pub solve_explored: Option<usize>,
@@ -144,6 +154,10 @@ impl RuntimeReport {
             for &b in &e.thresholds {
                 h.word(b.to_bits());
             }
+            h.word(e.attacks_launched);
+            h.word(e.attacks_detected);
+            h.word(e.attacker_utility.to_bits());
+            h.word(e.auditor_damage.to_bits());
             h.word(e.solve_explored.map(|n| n as u64 + 1).unwrap_or(0));
             // Presence bit first: `Some(0.0)` hashes as bits 0, which a
             // bare unwrap_or(0) would conflate with `None`.
@@ -251,6 +265,10 @@ mod tests {
             epochs_since_resolve: epoch,
             objective: 7.25,
             thresholds: vec![3.0, 2.0],
+            attacks_launched: 0,
+            attacks_detected: 0,
+            attacker_utility: 0.0,
+            auditor_damage: 0.0,
             solve_explored: None,
             solve_millis: None,
             cold_objective: None,
@@ -293,6 +311,10 @@ mod tests {
             // Some(0.0) must hash apart from None (presence bit).
             |r: &mut RuntimeReport| r.epochs[1].cold_objective = Some(0.0),
             |r: &mut RuntimeReport| r.seed = 8,
+            |r: &mut RuntimeReport| r.epochs[0].attacks_launched = 1,
+            |r: &mut RuntimeReport| r.epochs[0].attacks_detected = 1,
+            |r: &mut RuntimeReport| r.epochs[1].attacker_utility = 2.5,
+            |r: &mut RuntimeReport| r.epochs[1].auditor_damage = -1.0,
         ] {
             let mut b = report();
             mutate(&mut b);

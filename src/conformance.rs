@@ -14,13 +14,20 @@
 //! change results by `tests/detection_equivalence.rs`).
 
 use crate::json::Value;
+use audit_game::attacker::AttackerModel;
 use audit_game::cggs::Cggs;
 use audit_game::detection::{DetectionEstimator, DetectionModel};
 use audit_game::error::GameError;
+use audit_game::general_sum::{DamageModel, GeneralSumEvaluator};
+use audit_game::ishm::{Ishm, IshmConfig};
 use audit_game::model::GameSpec;
+use audit_game::ordering::AuditOrder;
+use audit_game::quantal::{solve_qr_thresholds, QuantalResponse};
 use audit_game::scenario::Scenario;
 use audit_game::solver::{InnerKind, OapSolver, SolverConfig};
+use audit_runtime::{AuditService, DriftConfig, RuntimeConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Monte-Carlo samples per conformance cell — small on purpose: the suite
 /// runs in debug CI, and golden comparison needs determinism, not
@@ -101,6 +108,20 @@ pub struct Cell {
     pub thresholds: Vec<f64>,
 }
 
+/// A cell the matrix deliberately did not solve, with the reason — the
+/// `#[ignore]`-style marker that replaces silent omission. Not part of
+/// the golden serialization (goldens pin solved cells only); the
+/// conformance suite prints these as explicit `ignored:` lines.
+#[derive(Debug, Clone)]
+pub struct SkippedCell {
+    /// Solver mode key.
+    pub solver: &'static str,
+    /// Detection model key.
+    pub detection: &'static str,
+    /// Why the cell was skipped.
+    pub reason: String,
+}
+
 /// The full conformance report of one scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -118,6 +139,8 @@ pub struct ScenarioReport {
     pub budget: f64,
     /// All solved cells, in matrix order.
     pub cells: Vec<Cell>,
+    /// Cells deliberately skipped as intractable, with reasons.
+    pub skipped: Vec<SkippedCell>,
 }
 
 /// The canonical fixed threshold vector for the plain-CGGS cells: full
@@ -172,18 +195,161 @@ pub fn run_cell(
     })
 }
 
+/// Solve one quantal-response cell: ISHM over the QR loss, exact order
+/// enumeration. The spec is **not** dedup'd — duplicate actions each carry
+/// logit probability mass, so deduplication would change the objective.
+fn run_qr_cell(
+    spec: &GameSpec,
+    qr: QuantalResponse,
+    model: DetectionModel,
+    seed: u64,
+) -> Result<Cell, GameError> {
+    let bank = spec.sample_bank(CONFORMANCE_SAMPLES, seed);
+    let est = DetectionEstimator::new(spec, &bank, model);
+    let out = solve_qr_thresholds(spec, &est, qr, CONFORMANCE_EPSILON)?;
+    Ok(Cell {
+        solver: "ishm-qr",
+        detection: detection_key(model),
+        objective: out.value,
+        thresholds: out.thresholds,
+    })
+}
+
+/// Solve one general-sum cell: ISHM minimizing auditor damage over the
+/// exact order enumeration.
+fn run_gsum_cell(
+    spec: &GameSpec,
+    damage: DamageModel,
+    model: DetectionModel,
+    seed: u64,
+) -> Result<Cell, GameError> {
+    let bank = spec.sample_bank(CONFORMANCE_SAMPLES, seed);
+    let est = DetectionEstimator::new(spec, &bank, model);
+    let orders = AuditOrder::enumerate_all(spec.n_types());
+    let mut eval = GeneralSumEvaluator::new(spec, est, orders, damage);
+    let out = Ishm::new(IshmConfig {
+        epsilon: CONFORMANCE_EPSILON,
+        ..Default::default()
+    })
+    .solve(spec, &mut eval)?;
+    Ok(Cell {
+        solver: "ishm-gsum",
+        detection: detection_key(model),
+        objective: out.value,
+        thresholds: out.thresholds,
+    })
+}
+
+/// Solve one adaptive-attacker cell: a short deterministic
+/// [`AuditService`] run (4 epochs, staleness-forced re-solves) with the
+/// scenario's adaptive attackers injecting traffic; the cell pins the
+/// final committed objective and thresholds.
+fn run_adaptive_cell(
+    sc: &Arc<dyn Scenario>,
+    model: DetectionModel,
+    seed: u64,
+) -> Result<Cell, GameError> {
+    let report = AuditService::new(
+        Arc::clone(sc),
+        RuntimeConfig {
+            epochs: 4,
+            periods_per_epoch: 3,
+            seed,
+            solver: SolverConfig {
+                epsilon: CONFORMANCE_EPSILON,
+                n_samples: CONFORMANCE_SAMPLES,
+                seed,
+                inner: InnerKind::Cggs,
+                detection: model,
+                dedup_actions: true,
+                threads: 1,
+            },
+            drift: DriftConfig {
+                window_periods: 6,
+                max_stale_epochs: Some(2),
+                ..Default::default()
+            },
+            warm_start: true,
+            compare_cold: false,
+        },
+    )
+    .run()?;
+    let last = report
+        .epochs
+        .last()
+        .expect("service ran at least one epoch");
+    Ok(Cell {
+        solver: "adaptive-soak",
+        detection: detection_key(model),
+        objective: last.objective,
+        thresholds: last.thresholds.clone(),
+    })
+}
+
 /// Solve the full conformance matrix of one scenario (at its small scale
-/// and default seed).
-pub fn run_scenario(sc: &dyn Scenario) -> Result<ScenarioReport, GameError> {
+/// and default seed): the three standard solver modes, plus the cells of
+/// the scenario's declared attacker model. Intractable cells are recorded
+/// in [`ScenarioReport::skipped`] with reasons instead of silently
+/// omitted.
+pub fn run_scenario(sc: &Arc<dyn Scenario>) -> Result<ScenarioReport, GameError> {
     let seed = sc.default_seed();
     let spec = sc.build_small(seed)?;
+    let exact_skip_reason = || {
+        format!(
+            "{} alert types exceed EXACT_MAX_TYPES = {EXACT_MAX_TYPES}: the exact inner \
+             enumerates |T|! audit orders per threshold vector",
+            spec.n_types()
+        )
+    };
     let mut cells = Vec::new();
+    let mut skipped = Vec::new();
     for mode in SolverMode::ALL {
         if !mode.applicable(&spec) {
+            for model in DETECTION_MODELS {
+                skipped.push(SkippedCell {
+                    solver: mode.key(),
+                    detection: detection_key(model),
+                    reason: exact_skip_reason(),
+                });
+            }
             continue;
         }
         for model in DETECTION_MODELS {
             cells.push(run_cell(&spec, mode, model, seed)?);
+        }
+    }
+    match sc.attacker_model() {
+        AttackerModel::Rational => {}
+        AttackerModel::Quantal(qr) => {
+            for model in DETECTION_MODELS {
+                if spec.n_types() <= EXACT_MAX_TYPES {
+                    cells.push(run_qr_cell(&spec, qr, model, seed)?);
+                } else {
+                    skipped.push(SkippedCell {
+                        solver: "ishm-qr",
+                        detection: detection_key(model),
+                        reason: exact_skip_reason(),
+                    });
+                }
+            }
+        }
+        AttackerModel::GeneralSum(damage) => {
+            for model in DETECTION_MODELS {
+                if spec.n_types() <= EXACT_MAX_TYPES {
+                    cells.push(run_gsum_cell(&spec, damage, model, seed)?);
+                } else {
+                    skipped.push(SkippedCell {
+                        solver: "ishm-gsum",
+                        detection: detection_key(model),
+                        reason: exact_skip_reason(),
+                    });
+                }
+            }
+        }
+        AttackerModel::Adaptive(_) => {
+            for model in DETECTION_MODELS {
+                cells.push(run_adaptive_cell(sc, model, seed)?);
+            }
         }
     }
     Ok(ScenarioReport {
@@ -194,6 +360,7 @@ pub fn run_scenario(sc: &dyn Scenario) -> Result<ScenarioReport, GameError> {
         n_actions: spec.n_actions(),
         budget: spec.budget,
         cells,
+        skipped,
     })
 }
 
@@ -365,8 +532,9 @@ mod tests {
     fn report_roundtrips_and_self_compares() {
         let registry = audit_game::scenario::registry();
         let sc = registry.get("syn-a").unwrap();
-        let report = run_scenario(sc.as_ref()).unwrap();
+        let report = run_scenario(sc).unwrap();
         assert_eq!(report.cells.len(), 9, "4-type scenario runs all 9 cells");
+        assert!(report.skipped.is_empty(), "nothing to skip at 4 types");
         let json = report.to_json().render();
         let parsed = crate::json::Value::parse(&json).unwrap();
         report.compare_to_golden(&parsed).unwrap();
@@ -376,10 +544,62 @@ mod tests {
     fn comparison_flags_drift() {
         let registry = audit_game::scenario::registry();
         let sc = registry.get("syn-a").unwrap();
-        let mut report = run_scenario(sc.as_ref()).unwrap();
+        let mut report = run_scenario(sc).unwrap();
         let golden = crate::json::Value::parse(&report.to_json().render()).unwrap();
         report.cells[0].objective += 1e-3;
         let err = report.compare_to_golden(&golden).unwrap_err();
         assert!(err.contains("objective"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn intractable_exact_cells_are_marked_skipped_not_omitted() {
+        use audit_game::model::{AttackAction, Attacker, GameSpecBuilder};
+        use stochastics::Constant;
+
+        /// A synthetic 6-type scenario: one past the exact-inner gate.
+        struct SixTypes;
+        impl Scenario for SixTypes {
+            fn key(&self) -> &str {
+                "test-six-types"
+            }
+            fn source(&self) -> &str {
+                "core"
+            }
+            fn describe(&self) -> String {
+                "6 constant types, forces the ishm-exact skip path".into()
+            }
+            fn build(&self, _seed: u64) -> Result<GameSpec, GameError> {
+                let mut b = GameSpecBuilder::new();
+                for t in 0..6 {
+                    b.alert_type(format!("t{t}"), 1.0, std::sync::Arc::new(Constant(1)));
+                }
+                b.attacker(Attacker::new(
+                    "e0",
+                    1.0,
+                    vec![AttackAction::deterministic("v0", 0, 5.0, 0.4, 4.0)],
+                ));
+                b.budget(2.0);
+                b.build()
+            }
+        }
+
+        let sc: Arc<dyn Scenario> = Arc::new(SixTypes);
+        let report = run_scenario(&sc).unwrap();
+        // 2 tractable modes x 3 detection models solved ...
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.solver != "ishm-exact"));
+        // ... and the 3 ishm-exact cells are explicit skip markers.
+        assert_eq!(report.skipped.len(), 3);
+        for s in &report.skipped {
+            assert_eq!(s.solver, "ishm-exact");
+            assert!(
+                s.reason.contains("EXACT_MAX_TYPES") && s.reason.contains('6'),
+                "reason should name the gate: {}",
+                s.reason
+            );
+        }
+        // Skip markers stay out of the golden serialization.
+        let json = report.to_json().render();
+        assert!(!json.contains("skipped") && !json.contains("ishm-exact"));
     }
 }

@@ -20,6 +20,9 @@ pub use audit_game::scenario::{Registry, Scenario};
 /// | `syn-heavy-tail` | core | Zipf (heavy-tail) benign counts |
 /// | `syn-correlated` | core | calm/storm regime-correlated counts |
 /// | `syn-seasonal` | core | weekly seasonal arrival drift |
+/// | `syn-quantal` | core | quantal-response (boundedly rational) attacker |
+/// | `syn-general-sum` | core | general-sum damage-model attacker |
+/// | `syn-adaptive` | core | adaptive attacker best-responding across epochs |
 /// | `emr-reaa` | emrsim | Rea A EMR access alerts (Gaussian fit) |
 /// | `emr-reaa-empirical` | emrsim | Rea A with empirical count fit |
 /// | `credit-reab` | creditsim | Rea B credit applications |
@@ -65,6 +68,9 @@ mod tests {
                 "syn-heavy-tail",
                 "syn-correlated",
                 "syn-seasonal",
+                "syn-quantal",
+                "syn-general-sum",
+                "syn-adaptive",
                 "emr-reaa",
                 "emr-reaa-empirical",
                 "credit-reab",

@@ -44,6 +44,10 @@ fn epoch_to_json(e: &EpochTelemetry) -> Value {
         ),
         ("objective", Value::Num(e.objective)),
         ("thresholds", Value::nums(e.thresholds.iter().copied())),
+        ("attacks_launched", Value::Num(e.attacks_launched as f64)),
+        ("attacks_detected", Value::Num(e.attacks_detected as f64)),
+        ("attacker_utility", Value::Num(e.attacker_utility)),
+        ("auditor_damage", Value::Num(e.auditor_damage)),
     ];
     let opt_num = |x: Option<f64>| x.map(Value::Num).unwrap_or(Value::Null);
     pairs.push((

@@ -101,6 +101,48 @@ fn restore_agrees_across_thread_counts() {
     assert_eq!(fingerprints[0], fingerprints[2]);
 }
 
+/// The adaptive-attacker scenario threads extra state through a restart:
+/// the attacker's EWMA belief over published policies and the attack
+/// telemetry counters. Interrupting mid-adaptation must not lose either —
+/// every restore point lands on the uninterrupted fingerprint, and the
+/// run must actually contain attacks (a zero-attack run would make this
+/// test vacuous).
+#[test]
+fn adaptive_attacker_restores_fingerprint_identical_mid_adaptation() {
+    let reg = registry();
+    let scenario = reg.get("syn-adaptive").unwrap().clone();
+    let epochs = 6;
+
+    let full = AuditService::new(Arc::clone(&scenario), config(epochs, 1))
+        .run()
+        .unwrap();
+    let want = full.fingerprint();
+    let launched: u64 = full.epochs.iter().map(|e| e.attacks_launched).sum();
+    assert!(launched > 0, "adaptive soak ran without a single attack");
+
+    for stop in [2usize, 4] {
+        let dir = temp_dir(&format!("adaptive{stop}"));
+        let service = AuditService::new(Arc::clone(&scenario), config(epochs, 1));
+        let state = service.run_until(stop).unwrap();
+        assert_eq!(
+            state.attacker_belief.len(),
+            full.epochs[0].alerts_seen.len(),
+            "belief vector arity drifted"
+        );
+        service.checkpoint(&state, &dir).unwrap();
+        drop(service);
+
+        let (restored, state) = AuditService::restore(Arc::clone(&scenario), &dir).unwrap();
+        let report = restored.resume(state).unwrap();
+        assert_eq!(
+            report.fingerprint(),
+            want,
+            "adaptive restore at epoch {stop} diverged from the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Checkpointing at the horizon is legal: restore yields the finished
 /// report without running another epoch.
 #[test]

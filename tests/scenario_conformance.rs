@@ -39,13 +39,24 @@ fn every_registry_scenario_matches_its_golden_snapshot() {
     }
     let mut failures: Vec<String> = Vec::new();
     for sc in reg.iter() {
-        let report = match run_scenario(sc.as_ref()) {
+        let report = match run_scenario(sc) {
             Ok(r) => r,
             Err(e) => {
                 failures.push(format!("{}: failed to solve: {e}", sc.key()));
                 continue;
             }
         };
+        // Intractable cells are explicit, not silent: surface each skip
+        // the way `cargo test` surfaces an `#[ignore]`d test.
+        for s in &report.skipped {
+            eprintln!(
+                "ignored: {} {}/{}: {}",
+                sc.key(),
+                s.solver,
+                s.detection,
+                s.reason
+            );
+        }
         let path = golden_path(sc.key());
         if update {
             std::fs::write(&path, report.to_json().render()).expect("write golden");
@@ -118,6 +129,85 @@ fn no_stray_golden_snapshots() {
             keys.iter().any(|k| k == stem),
             "stray golden snapshot {name}: no scenario with key '{stem}'"
         );
+    }
+}
+
+/// The ISHM exact-inner gate must be *explicit*: every registry scenario
+/// either solves the ishm-exact cells or reports them as skipped with a
+/// reason naming the gate — and the skip must fire exactly for the
+/// scenarios whose conformance-scale game exceeds `EXACT_MAX_TYPES`.
+#[test]
+fn ishm_exact_gating_is_explicit() {
+    use alert_audit::conformance::EXACT_MAX_TYPES;
+    let reg = registry();
+    for sc in reg.iter() {
+        let spec = sc.build_small(sc.default_seed()).expect("build_small");
+        let report = run_scenario(sc).expect("matrix solves");
+        let solved_exact = report.cells.iter().any(|c| c.solver == "ishm-exact");
+        let skipped_exact: Vec<_> = report
+            .skipped
+            .iter()
+            .filter(|s| s.solver == "ishm-exact")
+            .collect();
+        if spec.n_types() > EXACT_MAX_TYPES {
+            assert!(
+                !solved_exact && skipped_exact.len() == 3,
+                "{}: {} types must skip ishm-exact with 3 explicit markers (got {} markers)",
+                sc.key(),
+                spec.n_types(),
+                skipped_exact.len()
+            );
+            assert!(
+                ["emr-reaa", "emr-reaa-empirical"].contains(&sc.key()),
+                "{}: unexpected scenario above the exact gate",
+                sc.key()
+            );
+            for s in &skipped_exact {
+                assert!(
+                    s.reason.contains("EXACT_MAX_TYPES"),
+                    "vague reason: {}",
+                    s.reason
+                );
+            }
+        } else {
+            assert!(
+                solved_exact && skipped_exact.is_empty(),
+                "{}: {} types must solve ishm-exact cells",
+                sc.key(),
+                spec.n_types()
+            );
+        }
+    }
+}
+
+/// The strategic-attacker scenarios must pin their model-specific cells
+/// in the golden net, on top of the standard matrix.
+#[test]
+fn strategic_scenarios_pin_their_model_cells() {
+    if update_mode() {
+        return; // files may be mid-regeneration
+    }
+    for (key, solver) in [
+        ("syn-quantal", "ishm-qr"),
+        ("syn-general-sum", "ishm-gsum"),
+        ("syn-adaptive", "adaptive-soak"),
+    ] {
+        let text = std::fs::read_to_string(golden_path(key))
+            .unwrap_or_else(|_| panic!("{key}: missing golden snapshot"));
+        let golden = Value::parse(&text).expect("parseable golden");
+        let cells = golden
+            .get("cells")
+            .and_then(Value::as_arr)
+            .unwrap_or_default();
+        for detection in ["paper-approx", "attack-inclusive", "operational"] {
+            assert!(
+                cells.iter().any(|c| {
+                    c.get("solver").and_then(Value::as_str) == Some(solver)
+                        && c.get("detection").and_then(Value::as_str) == Some(detection)
+                }),
+                "{key}: golden missing cell {solver}/{detection}"
+            );
+        }
     }
 }
 
