@@ -29,10 +29,20 @@ pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 
 /// Remove a `--flag <value>` or `--flag=<value>` pair from the CLI
 /// argument list and return the value, if the flag was present. Panics
-/// with usage help when the space-separated form dangles without a value.
+/// with usage help when the space-separated form dangles without a value
+/// — including the mid-line case where the next token is itself a flag
+/// (`exp_online --checkpoint-dir --json` must not silently consume
+/// `--json` as the directory). A value that genuinely starts with `--`
+/// can always be passed via the `--flag=<value>` spelling.
 pub fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     if let Some(i) = args.iter().position(|a| a == flag) {
         assert!(i + 1 < args.len(), "{flag} needs a value");
+        assert!(
+            !args[i + 1].starts_with("--"),
+            "{flag} needs a value, found flag '{}' instead; \
+             use {flag}=<value> if the value really starts with '--'",
+            args[i + 1]
+        );
         let value = args.remove(i + 1);
         args.remove(i);
         return Some(value);
@@ -48,11 +58,13 @@ pub fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 /// Remove `--scenario <key>` (or `--scenario=<key>`) from `args` and
 /// return the key, if present. Panics with the known-key list when the
-/// flag is dangling.
+/// flag is dangling — at the end of the line or mid-line with another
+/// flag where the key should be.
 pub fn take_scenario_flag(args: &mut Vec<String>) -> Option<String> {
-    if args.iter().any(|a| a == "--scenario") {
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        let dangling = args.get(i + 1).map(|a| a.starts_with("--")).unwrap_or(true);
         assert!(
-            args.last().map(|a| a != "--scenario").unwrap_or(true),
+            !dangling,
             "--scenario needs a key; known keys: {}",
             registry().keys().join(", ")
         );
@@ -170,5 +182,33 @@ mod tests {
     fn dangling_value_flag_panics() {
         let mut args = vec!["--out".to_string()];
         take_value_flag(&mut args, "--out");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value, found flag '--json'")]
+    fn value_flag_rejects_a_following_flag_as_its_value() {
+        // The historical bug: `--checkpoint-dir --json` consumed `--json`
+        // as the directory, silently disabling JSON output.
+        let mut args = vec!["--checkpoint-dir".to_string(), "--json".into()];
+        take_value_flag(&mut args, "--checkpoint-dir");
+    }
+
+    #[test]
+    fn equals_spelling_still_accepts_flag_like_values() {
+        let mut args = vec!["--out=--dashed-name".to_string()];
+        assert_eq!(
+            take_value_flag(&mut args, "--out").as_deref(),
+            Some("--dashed-name")
+        );
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "known keys")]
+    fn mid_line_dangling_scenario_flag_panics_with_the_key_list() {
+        // `--scenario` mid-line followed by another flag used to slip past
+        // the last-position guard and swallow `--json` as the key.
+        let mut args = vec!["--scenario".to_string(), "--json".into(), "24".into()];
+        take_scenario_flag(&mut args);
     }
 }

@@ -55,6 +55,14 @@ impl<K: Eq + Hash + Clone, V> SecondChance<K, V> {
         self.evictions
     }
 
+    /// Iterate the live entries in slot order. Slot order is a pure
+    /// function of the `get`/`insert` history, so the iteration is as
+    /// deterministic as the cache itself — the engine's cache-seed export
+    /// rides this.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().map(|s| (&s.key, &s.value))
+    }
+
     /// Look up `key`, marking the entry as recently used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let &i = self.map.get(key)?;

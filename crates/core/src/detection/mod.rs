@@ -35,9 +35,13 @@
 
 mod cache;
 mod engine;
+mod shared;
 mod trie;
 
-pub use engine::{CacheStats, PalEngine, DEFAULT_PAL_CACHE_CAPACITY, DEFAULT_STATE_CACHE_BYTES};
+pub use engine::{
+    CacheStats, PalEngine, PalStateSeed, DEFAULT_PAL_CACHE_CAPACITY, DEFAULT_STATE_CACHE_BYTES,
+};
+pub use shared::{shared_bank_key, SharedCacheStats, SharedPalCache};
 
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;

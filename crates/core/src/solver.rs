@@ -2,7 +2,9 @@
 //! evaluator (exact enumeration or CGGS) — the full pipeline of the paper.
 
 use crate::cggs::CggsConfig;
-use crate::detection::{CacheStats, DetectionEstimator, DetectionModel};
+use crate::detection::{
+    shared_bank_key, CacheStats, DetectionEstimator, DetectionModel, PalEngine, SharedPalCache,
+};
 use crate::error::GameError;
 use crate::execute::AuditPolicy;
 use crate::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, SearchStats};
@@ -115,12 +117,56 @@ pub struct AuditSolution {
 pub struct OapSolver {
     /// Configuration.
     pub config: SolverConfig,
+    /// Optional exchange of prefix-state snapshots across solves whose
+    /// banks coincide (see [`SharedPalCache`]). `None` (the default) is
+    /// the isolated path.
+    shared: Option<SharedPalCache>,
 }
 
 impl OapSolver {
     /// Construct with a configuration.
     pub fn new(config: SolverConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            shared: None,
+        }
+    }
+
+    /// Attach a shared prefix-state exchange: before a solve, a snapshot
+    /// published under this solver's [`shared_bank_key`] is adopted into
+    /// the fresh engine; after the solve, the engine's states are
+    /// published back. Adoption is bit-identical to solving isolated —
+    /// only wall-clock and cache counters change. The exchange engages on
+    /// the [`OapSolver::solve`]/[`OapSolver::solve_warm`] paths, where the
+    /// bank provably derives from `(spec, n_samples, seed)`; the
+    /// explicit-bank path stays isolated, since an arbitrary caller bank
+    /// has no sound shared key.
+    pub fn with_shared_cache(mut self, shared: SharedPalCache) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// The [`shared_bank_key`] this solver publishes and adopts under when
+    /// solving `spec` — over the *working* (dedup-applied) spec, since
+    /// that is what the engine evaluates. Exposed so sibling evaluators of
+    /// the same game (e.g. the runtime's predicted-`Pal` pass) can join
+    /// the exchange under the identical key.
+    pub fn share_key(&self, spec: &GameSpec) -> u64 {
+        let working = if self.config.dedup_actions {
+            spec.dedup_actions()
+        } else {
+            spec.clone()
+        };
+        self.working_share_key(&working)
+    }
+
+    fn working_share_key(&self, working: &GameSpec) -> u64 {
+        shared_bank_key(
+            working,
+            self.config.n_samples,
+            self.config.seed,
+            self.config.detection,
+        )
     }
 
     /// Solve the full OAP: ISHM over thresholds with the configured inner
@@ -152,7 +198,11 @@ impl OapSolver {
             spec.clone()
         };
         let bank = working.sample_bank(self.config.n_samples, self.config.seed);
-        self.solve_on(&working, &bank, warm)
+        let share_key = self
+            .shared
+            .as_ref()
+            .map(|_| self.working_share_key(&working));
+        self.solve_on(&working, &bank, warm, share_key)
     }
 
     /// Solve on an explicitly supplied common-random-number bank instead
@@ -181,7 +231,25 @@ impl OapSolver {
         } else {
             spec.clone()
         };
-        self.solve_on(&working, bank, warm)
+        self.solve_on(&working, bank, warm, None)
+    }
+
+    /// Adopt a published prefix-state snapshot into `engine`, when sharing
+    /// is engaged for this solve.
+    fn adopt_shared(&self, share_key: Option<u64>, engine: &PalEngine<'_>) {
+        if let (Some(shared), Some(key)) = (&self.shared, share_key) {
+            if let Some(seed) = shared.get(key) {
+                engine.adopt_states(&seed);
+            }
+        }
+    }
+
+    /// Publish `engine`'s prefix-state snapshot for later solves over the
+    /// same bank, when sharing is engaged for this solve.
+    fn publish_shared(&self, share_key: Option<u64>, engine: &PalEngine<'_>) {
+        if let (Some(shared), Some(key)) = (&self.shared, share_key) {
+            shared.publish(key, engine.export_states());
+        }
     }
 
     /// Shared solve pipeline over a prepared (deduped) spec and bank.
@@ -190,6 +258,7 @@ impl OapSolver {
         working: &GameSpec,
         bank: &stochastics::SampleBank,
         warm: Option<&WarmStart>,
+        share_key: Option<u64>,
     ) -> Result<AuditSolution, GameError> {
         let est = DetectionEstimator::new(working, bank, self.config.detection);
         let ishm = Ishm::new(IshmConfig {
@@ -205,7 +274,9 @@ impl OapSolver {
         };
         let (outcome, cache): (IshmOutcome, CacheStats) = if use_exact {
             let mut eval = ExactEvaluator::with_threads(working, est, self.config.threads);
+            self.adopt_shared(share_key, eval.engine());
             let outcome = ishm.solve(working, &mut eval)?;
+            self.publish_shared(share_key, eval.engine());
             let cache = eval.engine().cache_stats();
             (outcome, cache)
         } else {
@@ -218,7 +289,9 @@ impl OapSolver {
                     ..Default::default()
                 },
             );
+            self.adopt_shared(share_key, eval.engine());
             let outcome = ishm.solve(working, &mut eval)?;
+            self.publish_shared(share_key, eval.engine());
             let cache = eval.engine().cache_stats();
             (outcome, cache)
         };
@@ -410,6 +483,46 @@ mod tests {
             assert_eq!(implicit.policy.thresholds, explicit.policy.thresholds);
             assert_eq!(implicit.policy.orders, explicit.policy.orders);
             assert_eq!(implicit.policy.probs, explicit.policy.probs);
+        }
+    }
+
+    #[test]
+    fn shared_cache_adoption_is_bit_identical() {
+        let spec = random_game(&RandomGameConfig::default(), 37);
+        let cfg = SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        for inner in [InnerKind::Exact, InnerKind::Cggs] {
+            let cfg = SolverConfig {
+                inner,
+                ..cfg.clone()
+            };
+            let baseline = OapSolver::new(cfg.clone()).solve(&spec).unwrap();
+
+            let shared = SharedPalCache::new();
+            let solver = OapSolver::new(cfg).with_shared_cache(shared.clone());
+            // First shared solve publishes; second adopts the snapshot.
+            let first = solver.solve(&spec).unwrap();
+            let second = solver.solve(&spec).unwrap();
+            for sol in [&first, &second] {
+                assert_eq!(sol.loss.to_bits(), baseline.loss.to_bits(), "{inner:?}");
+                assert_eq!(sol.policy.thresholds, baseline.policy.thresholds);
+                assert_eq!(sol.policy.orders, baseline.policy.orders);
+                assert_eq!(sol.policy.probs, baseline.policy.probs);
+            }
+            let stats = shared.stats();
+            assert_eq!(stats.banks, 1, "{inner:?}");
+            assert_eq!(stats.publishes, 2, "{inner:?}");
+            assert!(stats.adoptions >= 1, "{inner:?}: {stats:?}");
+            // Adoption actually skipped column passes on the second solve.
+            assert!(
+                second.cache.state_hits >= first.cache.state_hits,
+                "{inner:?}: {} vs {}",
+                second.cache.state_hits,
+                first.cache.state_hits
+            );
         }
     }
 

@@ -569,7 +569,7 @@ pub fn load_checkpoint(dir: &Path) -> Result<LoadedCheckpoint, PersistError> {
     }
 
     // Derived state is recomputed, bit-identically, from persisted inputs.
-    let predicted = predicted_pal(&loaded.spec, &policy, &config.solver);
+    let predicted = predicted_pal(&loaded.spec, &policy, &config.solver, None);
 
     let state = ServiceState {
         epoch: cursor.epoch,

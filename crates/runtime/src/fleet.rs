@@ -1,0 +1,343 @@
+//! Multi-tenant fleet runtime: many independent audit streams, one
+//! process.
+//!
+//! [`FleetService`] multiplexes N tenants — each a registry scenario with
+//! its own seed, drift gate, attacker model, and committed policy — over
+//! a bounded worker pool. Scheduling is **round-based**: round 0 cold-
+//! starts every tenant (initial solve + alert-stream derivation), and
+//! each later round advances every live tenant by exactly one epoch.
+//! Within a round, workers pull tenant indices from a shared cursor; a
+//! round is a barrier, so no tenant ever runs two epochs concurrently
+//! with itself.
+//!
+//! **Determinism.** Each tenant's epoch loop is the unmodified
+//! [`AuditService`] loop — per-period derived RNG streams, deterministic
+//! solves — so a tenant's [`RuntimeReport`] is bit-identical to running
+//! that tenant alone. The scheduler only decides *when* work happens,
+//! never *what* it computes, so the [`FleetReport::fingerprint`] is
+//! invariant across worker counts, reruns, and cache sharing.
+//!
+//! **Shared solver work.** With [`FleetConfig::share_caches`] on, every
+//! tenant's solver joins one [`SharedPalCache`]: tenants whose sample
+//! banks coincide (same deduped spec, bank parameters, detection model —
+//! see [`audit_game::detection::shared_bank_key`]) adopt each other's
+//! prefix-state snapshots instead of recomputing the columns. Adoption
+//! is bit-identical by construction; only wall-clock time and cache
+//! counters (excluded from fingerprints) change.
+
+use crate::service::{AuditService, RuntimeConfig, ServiceState};
+use crate::telemetry::{Fnv, RuntimeReport};
+use audit_game::detection::{SharedCacheStats, SharedPalCache};
+use audit_game::error::GameError;
+use audit_game::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One tenant of the fleet: a named scenario instance with its own
+/// runtime configuration (seed, horizon, drift gate, solver).
+pub struct TenantSpec {
+    /// Display name carried into the per-tenant report (and hashed into
+    /// the fleet fingerprint).
+    pub name: String,
+    /// The tenant's registry scenario.
+    pub scenario: Arc<dyn Scenario>,
+    /// The tenant's service configuration.
+    pub config: RuntimeConfig,
+}
+
+/// Fleet scheduling configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads pulling tenants within a scheduling round (`0` is
+    /// treated as `1`). Never changes results, only wall-clock time.
+    pub workers: usize,
+    /// Share one prefix-state exchange across all tenants' solvers (see
+    /// module docs). Bit-identical on or off.
+    pub share_caches: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            share_caches: true,
+        }
+    }
+}
+
+/// One tenant's outcome: its full service report plus fleet-side
+/// scheduling latencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetTenantReport {
+    /// The tenant's name from its [`TenantSpec`].
+    pub tenant: String,
+    /// The tenant's service report — bit-identical to running the tenant
+    /// alone.
+    pub report: RuntimeReport,
+    /// Wall-clock milliseconds of the tenant's cold start (round 0).
+    /// **Excluded from the fingerprint.**
+    pub start_millis: f64,
+    /// Wall-clock milliseconds of each epoch advance (rounds 1..).
+    /// **Excluded from the fingerprint.**
+    pub epoch_millis: Vec<f64>,
+}
+
+/// Aggregate outcome of one fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Worker threads the fleet ran with.
+    pub workers: usize,
+    /// Whether solver caches were shared across tenants.
+    pub shared: bool,
+    /// Per-tenant reports, in tenant order.
+    pub tenants: Vec<FleetTenantReport>,
+    /// Periods executed across all tenants.
+    pub total_periods: usize,
+    /// Wall-clock milliseconds of the whole run (cold starts included).
+    /// **Excluded from the fingerprint.**
+    pub wall_millis: f64,
+    /// Aggregate throughput: `total_periods / wall seconds`. **Excluded
+    /// from the fingerprint.**
+    pub periods_per_sec: f64,
+    /// Median per-period service latency (milliseconds), over every
+    /// epoch advance of every tenant. **Excluded from the fingerprint.**
+    pub latency_p50_millis: f64,
+    /// 95th-percentile per-period latency. **Excluded.**
+    pub latency_p95_millis: f64,
+    /// 99th-percentile per-period latency. **Excluded.**
+    pub latency_p99_millis: f64,
+    /// Shared-exchange counters (zeros when sharing was off). **Excluded
+    /// from the fingerprint** like every cache statistic.
+    pub shared_cache: SharedCacheStats,
+}
+
+impl FleetReport {
+    /// FNV-1a fingerprint of the fleet's deterministic outcome: the
+    /// tenant count and, per tenant in order, its name and its
+    /// [`RuntimeReport::fingerprint`]. Scheduling artifacts — worker
+    /// count, sharing flag, latencies, cache counters — are excluded, so
+    /// the fingerprint is invariant across worker counts, reruns, and
+    /// cache sharing.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.tenants.len() as u64);
+        for (i, t) in self.tenants.iter().enumerate() {
+            h.word(i as u64);
+            h.bytes(t.tenant.as_bytes());
+            h.word(t.report.fingerprint());
+        }
+        h.finish()
+    }
+
+    /// Committed re-solves summed across tenants.
+    pub fn total_resolves(&self) -> usize {
+        self.tenants.iter().map(|t| t.report.resolves()).sum()
+    }
+}
+
+/// Live scheduling state of one tenant between rounds.
+struct TenantRun {
+    service: AuditService,
+    epochs: usize,
+    state: Option<ServiceState>,
+    stream: Vec<Vec<u64>>,
+    start_millis: f64,
+    epoch_millis: Vec<f64>,
+    error: Option<GameError>,
+}
+
+/// The multi-tenant scheduler. See the module docs for the round model
+/// and the determinism contract.
+pub struct FleetService {
+    tenants: Vec<TenantSpec>,
+    config: FleetConfig,
+}
+
+impl FleetService {
+    /// Build a fleet over `tenants`.
+    pub fn new(tenants: Vec<TenantSpec>, config: FleetConfig) -> Self {
+        Self { tenants, config }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the fleet has no tenants (a degenerate but valid fleet:
+    /// [`FleetService::run`] returns an empty report).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Run every tenant to its horizon and aggregate the reports. The
+    /// first error (by tenant order) aborts the run.
+    pub fn run(&self) -> Result<FleetReport, GameError> {
+        let t0 = Instant::now();
+        let shared = self.config.share_caches.then(SharedPalCache::new);
+        let runs: Vec<Mutex<TenantRun>> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let service = AuditService::new(Arc::clone(&t.scenario), t.config.clone());
+                let service = match &shared {
+                    Some(cache) => service.with_shared_cache(cache.clone()),
+                    None => service,
+                };
+                Mutex::new(TenantRun {
+                    service,
+                    epochs: t.config.epochs,
+                    state: None,
+                    stream: Vec::new(),
+                    start_millis: 0.0,
+                    epoch_millis: Vec::new(),
+                    error: None,
+                })
+            })
+            .collect();
+
+        let n = runs.len();
+        let rounds = 1 + self
+            .tenants
+            .iter()
+            .map(|t| t.config.epochs)
+            .max()
+            .unwrap_or(0);
+        let workers = self.config.workers.max(1).min(n.max(1));
+        for round in 0..rounds {
+            if n == 0 {
+                break;
+            }
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = runs[i].lock().expect("tenant slot poisoned");
+                        let run = &mut *guard;
+                        if run.error.is_some() {
+                            continue;
+                        }
+                        let t = Instant::now();
+                        if round == 0 {
+                            match run
+                                .service
+                                .start_state()
+                                .and_then(|st| run.service.full_alert_stream().map(|s| (st, s)))
+                            {
+                                Ok((st, stream)) => {
+                                    run.state = Some(st);
+                                    run.stream = stream;
+                                    run.start_millis = millis_since(t);
+                                }
+                                Err(e) => run.error = Some(e),
+                            }
+                        } else {
+                            let Some(state) = run.state.as_mut() else {
+                                continue;
+                            };
+                            if state.epoch >= run.epochs {
+                                continue; // tenant already at its horizon
+                            }
+                            let stop = state.epoch + 1;
+                            match run.service.advance_with_stream(state, stop, &run.stream) {
+                                Ok(()) => run.epoch_millis.push(millis_since(t)),
+                                Err(e) => run.error = Some(e),
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Assemble in tenant order; surface the first error.
+        let mut tenants = Vec::with_capacity(n);
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut total_periods = 0usize;
+        for (spec, slot) in self.tenants.iter().zip(runs) {
+            let run = slot.into_inner().expect("tenant slot poisoned");
+            if let Some(e) = run.error {
+                return Err(e);
+            }
+            let state = run.state.expect("tenant never started");
+            let report = run.service.report(state);
+            total_periods += report.total_periods();
+            let per_epoch = spec.config.periods_per_epoch.max(1) as f64;
+            latencies.extend(run.epoch_millis.iter().map(|&m| m / per_epoch));
+            tenants.push(FleetTenantReport {
+                tenant: spec.name.clone(),
+                report,
+                start_millis: run.start_millis,
+                epoch_millis: run.epoch_millis,
+            });
+        }
+        let wall_millis = millis_since(t0);
+        latencies.sort_by(f64::total_cmp);
+        Ok(FleetReport {
+            workers,
+            shared: shared.is_some(),
+            tenants,
+            total_periods,
+            wall_millis,
+            periods_per_sec: if wall_millis > 0.0 {
+                total_periods as f64 / (wall_millis / 1e3)
+            } else {
+                0.0
+            },
+            latency_p50_millis: percentile(&latencies, 50.0),
+            latency_p95_millis: percentile(&latencies, 95.0),
+            latency_p99_millis: percentile(&latencies, 99.0),
+            shared_cache: shared.map(|s| s.stats()).unwrap_or_default(),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`0.0` when
+/// empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn millis_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn empty_fleet_reports_empty() {
+        let fleet = FleetService::new(Vec::new(), FleetConfig::default());
+        assert!(fleet.is_empty());
+        let report = fleet.run().unwrap();
+        assert_eq!(report.tenants.len(), 0);
+        assert_eq!(report.total_periods, 0);
+        assert_eq!(report.periods_per_sec, 0.0);
+        // The empty fingerprint is stable: just the zero tenant count.
+        assert_eq!(report.fingerprint(), {
+            let mut h = Fnv::new();
+            h.word(0);
+            h.finish()
+        });
+    }
+}

@@ -28,6 +28,12 @@
 //!   process ([`service::AuditService::restore`] +
 //!   [`service::AuditService::resume`]) with a report fingerprint
 //!   bit-identical to an uninterrupted run;
+//! * [`fleet`] — the multi-tenant scheduler: N independent tenant
+//!   streams (each its own scenario instance, seed, drift gate, and
+//!   committed policy) multiplexed over a bounded worker pool, with one
+//!   [`audit_game::detection::SharedPalCache`] amortizing solver work
+//!   across tenants whose sample banks coincide; per-tenant reports are
+//!   bit-identical to running each tenant alone, at every worker count;
 //! * [`telemetry`] — structured per-epoch telemetry (realized detection
 //!   rates, gap to the predicted `Pal`, drift statistics, solve latency,
 //!   epochs-since-resolve) with a deterministic fingerprint: reruns and
@@ -41,11 +47,13 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod fleet;
 pub mod online;
 pub mod service;
 pub mod telemetry;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, LoadedCheckpoint};
+pub use fleet::{FleetConfig, FleetReport, FleetService, FleetTenantReport, TenantSpec};
 pub use online::{DriftConfig, OnlineFit};
 pub use service::{warm_start_rescaled, AuditService, RuntimeConfig, ServiceState};
 pub use telemetry::{EpochTelemetry, ResolveStats, RuntimeReport};

@@ -34,7 +34,7 @@
 use crate::online::{DriftConfig, OnlineFit};
 use crate::telemetry::{EpochTelemetry, RuntimeReport};
 use audit_game::attacker::AttackerModel;
-use audit_game::detection::{CacheStats, DetectionEstimator, PalEngine};
+use audit_game::detection::{CacheStats, DetectionEstimator, PalEngine, SharedPalCache};
 use audit_game::error::GameError;
 use audit_game::execute::{execute_policy, AuditPolicy, RealizedAlert};
 use audit_game::model::GameSpec;
@@ -205,6 +205,7 @@ pub struct ServiceState {
 pub struct AuditService {
     scenario: Arc<dyn Scenario>,
     config: RuntimeConfig,
+    shared: Option<SharedPalCache>,
 }
 
 impl AuditService {
@@ -212,7 +213,23 @@ impl AuditService {
     pub fn new(scenario: Arc<dyn Scenario>, config: RuntimeConfig) -> Self {
         assert!(config.epochs > 0, "need at least one epoch");
         assert!(config.periods_per_epoch > 0, "need at least one period");
-        Self { scenario, config }
+        Self {
+            scenario,
+            config,
+            shared: None,
+        }
+    }
+
+    /// Attach a shared prefix-state exchange: every solve and
+    /// predicted-`Pal` pass of this service adopts and publishes
+    /// snapshots through it, so services whose sample banks coincide
+    /// amortize each other's column passes. Bit-identical to running
+    /// isolated — adopted states are exact values, and cache counters are
+    /// excluded from the telemetry fingerprint (see
+    /// [`audit_game::detection::SharedPalCache`]).
+    pub fn with_shared_cache(mut self, shared: SharedPalCache) -> Self {
+        self.shared = Some(shared);
+        self
     }
 
     /// The configuration the service runs under.
@@ -292,18 +309,64 @@ impl AuditService {
         Ok((AuditService::new(scenario, loaded.config), loaded.state))
     }
 
+    /// The solver every solve of this service uses, joined to the shared
+    /// exchange when one is attached.
+    fn solver(&self) -> OapSolver {
+        let solver = OapSolver::new(self.config.solver.clone());
+        match &self.shared {
+            Some(shared) => solver.with_shared_cache(shared.clone()),
+            None => solver,
+        }
+    }
+
+    /// Cold-start seam for schedulers that interleave many services
+    /// (see `crate::fleet`): build and solve the scenario, returning the
+    /// live state without running any epoch. Equivalent to the first half
+    /// of [`AuditService::run_until`].
+    pub fn start_state(&self) -> Result<ServiceState, GameError> {
+        self.start()
+    }
+
+    /// The scenario's full alert stream for this service's horizon — the
+    /// input [`AuditService::advance_with_stream`] consumes. Split out so
+    /// a round-based scheduler derives it once instead of per epoch.
+    pub fn full_alert_stream(&self) -> Result<Vec<Vec<u64>>, GameError> {
+        self.scenario.alert_stream(
+            self.config.seed,
+            self.config.epochs * self.config.periods_per_epoch,
+        )
+    }
+
+    /// As the internal advance loop, but over a caller-held alert stream
+    /// (from [`AuditService::full_alert_stream`]): run epochs until
+    /// `stop` (clamped to the configured horizon). Bit-identical to
+    /// [`AuditService::run_until`]/resume — the stream is deterministic
+    /// in `(seed, horizon)` either way.
+    pub fn advance_with_stream(
+        &self,
+        state: &mut ServiceState,
+        stop: usize,
+        stream: &[Vec<u64>],
+    ) -> Result<(), GameError> {
+        let stop = stop.min(self.config.epochs);
+        while state.epoch < stop {
+            self.run_epoch(state, stream)?;
+        }
+        Ok(())
+    }
+
     /// Cold start: build and solve the scenario, arm the drift tracker.
     fn start(&self) -> Result<ServiceState, GameError> {
         let cfg = &self.config;
         let spec = self.scenario.build(cfg.seed)?;
         spec.validate()?;
         let n = spec.n_types();
-        let solver = OapSolver::new(cfg.solver.clone());
+        let solver = self.solver();
 
         let t0 = Instant::now();
         let solution = solver.solve(&spec)?;
         let initial_solve_millis = millis_since(t0);
-        let predicted = predicted_pal(&spec, &solution.policy, &cfg.solver);
+        let predicted = predicted_pal(&spec, &solution.policy, &cfg.solver, self.shared.as_ref());
 
         Ok(ServiceState {
             epoch: 0,
@@ -344,7 +407,7 @@ impl AuditService {
         let cfg = &self.config;
         let epoch = st.epoch;
         let n = st.spec.n_types();
-        let solver = OapSolver::new(cfg.solver.clone());
+        let solver = self.solver();
         let model = self.scenario.attacker_model();
 
         // --- execute the committed policy, one period at a time ---
@@ -535,7 +598,7 @@ impl AuditService {
             st.spec = new_spec;
             st.policy = committed.policy;
             st.loss = committed.loss;
-            st.predicted = predicted_pal(&st.spec, &st.policy, &cfg.solver);
+            st.predicted = predicted_pal(&st.spec, &st.policy, &cfg.solver, self.shared.as_ref());
             st.epochs_since_resolve = 0;
         } else {
             st.epochs_since_resolve += 1;
@@ -573,11 +636,31 @@ impl AuditService {
 
 /// The committed policy's predicted mixture `Pal` under the spec it was
 /// solved against (evaluated on the same sample bank the solver used).
-pub(crate) fn predicted_pal(spec: &GameSpec, policy: &AuditPolicy, cfg: &SolverConfig) -> Vec<f64> {
+/// With a shared exchange attached, the pass adopts the solver's
+/// published prefix states first and publishes its own back — the result
+/// is bitwise unchanged (adopted states are exact values); only column
+/// passes are saved.
+pub(crate) fn predicted_pal(
+    spec: &GameSpec,
+    policy: &AuditPolicy,
+    cfg: &SolverConfig,
+    shared: Option<&SharedPalCache>,
+) -> Vec<f64> {
     let bank = spec.sample_bank(cfg.n_samples, cfg.seed);
     let est = DetectionEstimator::new(spec, &bank, cfg.detection);
     let engine = PalEngine::new(est, cfg.threads);
-    policy.expected_pal(&engine)
+    let key = shared.map(|s| {
+        let key = OapSolver::new(cfg.clone()).share_key(spec);
+        if let Some(seed) = s.get(key) {
+            engine.adopt_states(&seed);
+        }
+        key
+    });
+    let predicted = policy.expected_pal(&engine);
+    if let (Some(shared), Some(key)) = (shared, key) {
+        shared.publish(key, engine.export_states());
+    }
+    predicted
 }
 
 fn millis_since(t: Instant) -> f64 {

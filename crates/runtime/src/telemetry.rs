@@ -221,26 +221,28 @@ impl RuntimeReport {
     }
 }
 
-/// FNV-1a, the same construction as `GameSpec::fingerprint`.
-struct Fnv(u64);
+/// FNV-1a, the same construction as `GameSpec::fingerprint`. Shared with
+/// the fleet layer, whose report fingerprint folds per-tenant
+/// [`RuntimeReport::fingerprint`]s through the same hash.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn word(&mut self, x: u64) {
+    pub(crate) fn word(&mut self, x: u64) {
         self.bytes(&x.to_le_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

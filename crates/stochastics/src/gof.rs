@@ -51,22 +51,41 @@ pub fn chi_square(obs: &[u64], model: &dyn CountDistribution, min_expected: f64)
     }
     let expected: Vec<f64> = (lo..=hi).map(|k| model.pmf(k) * n).collect();
 
-    // Pool adjacent bins until each pooled bin reaches the floor.
-    let mut stat = 0.0;
-    let mut bins = 0usize;
+    // Pool adjacent bins until each pooled bin reaches the floor. A tail
+    // that runs out of support before reaching the floor is pooled
+    // *backward* into the last full bin: emitting it on its own would
+    // divide by a near-zero expectation (a single tail observation could
+    // inflate χ² by orders of magnitude) and contradict the
+    // ≥ `min_expected` contract above.
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
     let mut acc_o = 0.0;
     let mut acc_e = 0.0;
     for i in 0..width {
         acc_o += observed[i];
         acc_e += expected[i];
-        let last = i == width - 1;
-        if acc_e >= min_expected || last {
-            if acc_e > 0.0 {
-                stat += (acc_o - acc_e).powi(2) / acc_e;
-                bins += 1;
-            }
+        if acc_e >= min_expected {
+            pooled.push((acc_o, acc_e));
             acc_o = 0.0;
             acc_e = 0.0;
+        }
+    }
+    if acc_o > 0.0 || acc_e > 0.0 {
+        match pooled.last_mut() {
+            Some(last) => {
+                last.0 += acc_o;
+                last.1 += acc_e;
+            }
+            // Degenerate model: the whole support stays below the floor —
+            // one single bin is all there is.
+            None => pooled.push((acc_o, acc_e)),
+        }
+    }
+    let mut stat = 0.0;
+    let mut bins = 0usize;
+    for &(o, e) in &pooled {
+        if e > 0.0 {
+            stat += (o - e).powi(2) / e;
+            bins += 1;
         }
     }
     ChiSquare {
@@ -128,6 +147,37 @@ mod tests {
             "uniform should be rejected: χ² {}",
             c.statistic
         );
+    }
+
+    #[test]
+    fn sparse_tail_pools_backward_instead_of_inflating() {
+        // A single far-tail observation lands where the expected mass is
+        // ~1e-3. Before the fix the `last` branch emitted that tail as its
+        // own bin, contributing (1 − e)²/e ≈ 1000 on its own; pooled
+        // backward into the last full bin, the statistic stays ordinary.
+        let d = DiscretizedGaussian::with_halfwidth(5.0, 1.0, 5);
+        let mut obs = draws(&d, 400, 11);
+        obs.push(d.support_max());
+        let c = chi_square(&obs, &d, 5.0);
+        assert!(
+            c.statistic < 100.0,
+            "sparse tail was not pooled backward: χ² {} (dof {})",
+            c.statistic,
+            c.dof
+        );
+        assert!(c.plausible(6.0), "χ² {} with dof {}", c.statistic, c.dof);
+    }
+
+    #[test]
+    fn every_pooled_bin_contract_holds_with_all_mass_below_floor() {
+        // Degenerate case: every expected bin is below the floor — the
+        // whole support collapses into one bin (dof floors at 1) instead
+        // of emitting an under-floor tail bin.
+        let d = UniformCount::new(0, 9);
+        let obs: Vec<u64> = (0..10u64).collect();
+        let c = chi_square(&obs, &d, 100.0);
+        assert_eq!(c.dof, 1);
+        assert!(c.statistic.abs() < 1e-12, "χ² {}", c.statistic);
     }
 
     #[test]

@@ -151,6 +151,8 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -267,6 +269,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'n') => out.push('\n'),
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
                     Some(b'u') => {
                         let mut code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
@@ -382,6 +386,32 @@ mod tests {
     fn escapes_are_symmetric() {
         let v = Value::Str("quote \" slash \\ newline \n tab \t".into());
         assert_eq!(Value::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn all_short_escape_forms_round_trip() {
+        // Every two-character escape of RFC 8259, plus a sub-0x20 control
+        // that has no short form and must stay \u-encoded.
+        let v = Value::Str("\" \\ / \n \t \r \u{0008} \u{000C} \u{0001}".into());
+        let text = v.render();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        assert!(text.contains("\\b"), "backspace renders short: {text}");
+        assert!(text.contains("\\f"), "form feed renders short: {text}");
+        assert!(text.contains("\\u0001"), "other controls stay \\u: {text}");
+        assert!(!text.contains("\\u0008"), "no generic backspace: {text}");
+        assert!(!text.contains("\\u000c"), "no generic form feed: {text}");
+    }
+
+    #[test]
+    fn backspace_and_formfeed_escapes_parse() {
+        // Hand-written \b and \f (valid JSON) must parse, in both the
+        // short and the \u spellings, to the same string.
+        let short = Value::parse(r#""a\bz\fq""#).unwrap();
+        let long = Value::parse("\"a\\u0008z\\u000cq\"").unwrap();
+        assert_eq!(short, Value::Str("a\u{0008}z\u{000C}q".into()));
+        assert_eq!(short, long);
+        // Unknown escapes are still rejected.
+        assert!(Value::parse(r#""\x""#).is_err());
     }
 
     #[test]

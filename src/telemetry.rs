@@ -10,7 +10,7 @@
 //! content; the embedded `fingerprint` ignores them by construction).
 
 use crate::json::Value;
-use audit_runtime::{EpochTelemetry, RuntimeReport};
+use audit_runtime::{EpochTelemetry, FleetReport, RuntimeReport};
 
 /// Render one epoch record.
 fn epoch_to_json(e: &EpochTelemetry) -> Value {
@@ -131,6 +131,59 @@ pub fn report_to_json(report: &RuntimeReport) -> Value {
     ])
 }
 
+/// Render a fleet run: aggregate header (throughput, latency
+/// percentiles, shared-cache counters, fleet fingerprint) plus the full
+/// per-tenant reports. Per-tenant fingerprints ride inside each embedded
+/// [`report_to_json`]; the fleet fingerprint folds them in tenant order.
+pub fn fleet_report_to_json(report: &FleetReport) -> Value {
+    Value::obj([
+        ("tenants", Value::Num(report.tenants.len() as f64)),
+        ("workers", Value::Num(report.workers as f64)),
+        ("shared_caches", Value::Bool(report.shared)),
+        ("total_periods", Value::Num(report.total_periods as f64)),
+        ("total_resolves", Value::Num(report.total_resolves() as f64)),
+        ("wall_millis", Value::Num(report.wall_millis)),
+        ("periods_per_sec", Value::Num(report.periods_per_sec)),
+        ("latency_p50_millis", Value::Num(report.latency_p50_millis)),
+        ("latency_p95_millis", Value::Num(report.latency_p95_millis)),
+        ("latency_p99_millis", Value::Num(report.latency_p99_millis)),
+        (
+            "shared_cache",
+            Value::obj([
+                ("banks", Value::Num(report.shared_cache.banks as f64)),
+                (
+                    "publishes",
+                    Value::Num(report.shared_cache.publishes as f64),
+                ),
+                (
+                    "adoptions",
+                    Value::Num(report.shared_cache.adoptions as f64),
+                ),
+            ]),
+        ),
+        (
+            "fingerprint",
+            Value::Str(format!("{:016x}", report.fingerprint())),
+        ),
+        (
+            "tenant_log",
+            Value::Arr(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Value::obj([
+                            ("tenant", Value::Str(t.tenant.clone())),
+                            ("start_millis", Value::Num(t.start_millis)),
+                            ("report", report_to_json(&t.report)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +229,59 @@ mod tests {
         assert_eq!(
             back.get("epoch_log").unwrap().as_arr().unwrap().len(),
             report.epochs.len()
+        );
+        assert_eq!(back.get("total_periods").unwrap().as_f64().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn fleet_json_roundtrips_and_carries_both_fingerprint_levels() {
+        use audit_runtime::{FleetConfig, FleetService, TenantSpec};
+        let reg = registry();
+        let sc = reg.get("syn-a").unwrap().clone();
+        let config = RuntimeConfig {
+            epochs: 2,
+            periods_per_epoch: 3,
+            seed: 5,
+            solver: SolverConfig {
+                inner: InnerKind::Cggs,
+                n_samples: 40,
+                epsilon: 0.5,
+                ..Default::default()
+            },
+            drift: DriftConfig::default(),
+            warm_start: true,
+            compare_cold: false,
+        };
+        let tenants = (0..2)
+            .map(|i| TenantSpec {
+                name: format!("syn-a#{i}"),
+                scenario: sc.clone(),
+                config: RuntimeConfig {
+                    seed: 5 + i,
+                    ..config.clone()
+                },
+            })
+            .collect();
+        let fleet = FleetService::new(tenants, FleetConfig::default());
+        let report = fleet.run().unwrap();
+        let v = fleet_report_to_json(&report);
+        let back = Value::parse(&v.render()).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(
+            back.get("fingerprint").unwrap().as_str().unwrap(),
+            format!("{:016x}", report.fingerprint())
+        );
+        let log = back.get("tenant_log").unwrap().as_arr().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log[0]
+                .get("report")
+                .unwrap()
+                .get("fingerprint")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            format!("{:016x}", report.tenants[0].report.fingerprint())
         );
         assert_eq!(back.get("total_periods").unwrap().as_f64().unwrap(), 12.0);
     }
