@@ -217,24 +217,6 @@ impl Cggs {
         AuditOrder::new(order)
     }
 
-    /// Per-type detection weights `w_t = Σ_ev y_ev·(M+R)_ev·P^t_ev`.
-    fn detection_weights(&self, spec: &GameSpec, y: &[f64]) -> Vec<f64> {
-        let mut w = vec![0.0; spec.n_types()];
-        let mut i = 0usize;
-        for att in &spec.attackers {
-            for act in &att.actions {
-                let mass = y[i] * (act.penalty + act.reward);
-                if mass != 0.0 {
-                    for &(t, p) in &act.alert_probs {
-                        w[t] += mass * p;
-                    }
-                }
-                i += 1;
-            }
-        }
-        w
-    }
-
     /// Greedy pricing oracle (Algorithm 1, lines 4–7): repeatedly append the
     /// feasible type maximizing the marginal weighted detection mass. Each
     /// greedy step evaluates *all* candidate extensions in one batch — one
@@ -253,7 +235,7 @@ impl Cggs {
         y: &[f64],
     ) -> AuditOrder {
         let n = spec.n_types();
-        let w = self.detection_weights(spec, y);
+        let w = detection_weights(spec, y);
         let mut prefix: Vec<usize> = Vec::with_capacity(n);
         let mut placed = vec![false; n];
         for _ in 0..n {
@@ -315,9 +297,30 @@ impl Cggs {
     }
 }
 
+/// Per-type detection weights `w_t = Σ_ev y_ev·(M+R)_ev·P^t_ev` — the
+/// marginal value of detecting one more type-`t` attack under the
+/// attacker mixture `y`. Shared by the CGGS greedy oracle and the
+/// planner's decomposed refinement pricing.
+pub(crate) fn detection_weights(spec: &GameSpec, y: &[f64]) -> Vec<f64> {
+    let mut w = vec![0.0; spec.n_types()];
+    let mut i = 0usize;
+    for att in &spec.attackers {
+        for act in &att.actions {
+            let mass = y[i] * (act.penalty + act.reward);
+            if mass != 0.0 {
+                for &(t, p) in &act.alert_probs {
+                    w[t] += mass * p;
+                }
+            }
+            i += 1;
+        }
+    }
+    w
+}
+
 /// `f(o) = Σ_ev y_ev·U_a(o,b,⟨e,v⟩)` — the attacker mixture's payoff if the
 /// auditor played the pure order whose detection vector is `pal`.
-fn score_from_pal(spec: &GameSpec, pal: &[f64], y: &[f64]) -> f64 {
+pub(crate) fn score_from_pal(spec: &GameSpec, pal: &[f64], y: &[f64]) -> f64 {
     let mut f = 0.0;
     let mut i = 0usize;
     for att in &spec.attackers {
@@ -406,10 +409,9 @@ mod tests {
     #[test]
     fn detection_weights_aggregate_reward_and_penalty() {
         let spec = three_type_spec();
-        let cggs = Cggs::default();
         // y puts mass 1 on attacker 0's only action (type 0, R=9, M=6).
         let y = vec![1.0, 0.0, 0.0];
-        let w = cggs.detection_weights(&spec, &y);
+        let w = detection_weights(&spec, &y);
         assert!((w[0] - 15.0).abs() < 1e-12);
         assert_eq!(w[1], 0.0);
         assert_eq!(w[2], 0.0);

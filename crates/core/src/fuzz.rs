@@ -24,7 +24,10 @@ use stochastics::{Constant, CountDistribution, DiscretizedGaussian, Poisson, Zip
 /// Size and shape bounds for [`fuzz_game`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FuzzConfig {
-    /// Maximum number of alert types (≥ 2 drawn uniformly in `2..=max`).
+    /// Minimum number of alert types (≥ 2; the draw is uniform in
+    /// `min..=max`).
+    pub min_types: usize,
+    /// Maximum number of alert types (≥ 2 drawn uniformly in `min..=max`).
     pub max_types: usize,
     /// Maximum number of attackers (≥ 1).
     pub max_attackers: usize,
@@ -41,11 +44,29 @@ pub struct FuzzConfig {
 impl Default for FuzzConfig {
     fn default() -> Self {
         Self {
+            min_types: 2,
             max_types: 4,
             max_attackers: 4,
             max_victims: 5,
             stochastic_footprints: true,
             max_support: 12,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The wide-type profile exercising the planner's decomposed tier:
+    /// 16–32 alert types (always past [`crate::planner::ISHM_FULL_MAX_TYPES`])
+    /// with small count supports so the Monte-Carlo banks and payoff
+    /// matrices stay cheap at that width.
+    pub fn wide() -> Self {
+        Self {
+            min_types: 16,
+            max_types: 32,
+            max_attackers: 5,
+            max_victims: 5,
+            stochastic_footprints: true,
+            max_support: 8,
         }
     }
 }
@@ -80,9 +101,13 @@ fn fuzz_distribution<R: Rng>(rng: &mut R, max_support: u64) -> Arc<dyn CountDist
 /// Generate a random valid game from `(config, seed)`, deterministically.
 pub fn fuzz_game(config: &FuzzConfig, seed: u64) -> GameSpec {
     assert!(config.max_types >= 2, "need at least two alert types");
+    assert!(
+        (2..=config.max_types).contains(&config.min_types),
+        "min_types must lie in 2..=max_types"
+    );
     assert!(config.max_attackers >= 1 && config.max_victims >= 1);
     let mut rng = stream_rng(seed, FUZZ_NONCE);
-    let n_types = rng.gen_range(2..=config.max_types);
+    let n_types = rng.gen_range(config.min_types..=config.max_types);
     let n_attackers = rng.gen_range(1..=config.max_attackers);
     let n_victims = rng.gen_range(1..=config.max_victims);
 
@@ -161,6 +186,21 @@ mod tests {
             assert!(g.n_types() >= 2 && g.n_types() <= cfg.max_types);
             assert!(g.n_attackers() >= 1 && g.n_attackers() <= cfg.max_attackers);
             assert!(g.budget > 0.0);
+        }
+    }
+
+    #[test]
+    fn wide_profile_always_lands_in_the_decomposed_tier() {
+        let cfg = FuzzConfig::wide();
+        for seed in 0..12 {
+            let g = fuzz_game(&cfg, seed);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                g.n_types() >= 16 && g.n_types() <= 32,
+                "seed {seed}: {} types",
+                g.n_types()
+            );
+            assert!(g.n_types() > crate::planner::ISHM_FULL_MAX_TYPES);
         }
     }
 

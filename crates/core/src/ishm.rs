@@ -283,6 +283,15 @@ pub struct IshmConfig {
     /// the incumbent and terminates after far fewer LP evaluations.
     /// `None` is bit-identical to a cold solve.
     pub initial_thresholds: Option<Vec<f64>>,
+    /// Cap on the subset level `lh` the shrink search may reach. The
+    /// search is exponential in the level (`C(|T|, lh)` subsets each
+    /// sweep, and termination requires a no-improvement pass at *every*
+    /// level up to `|T|`), which is fine at paper scale but intractable
+    /// at 20–50 types — the planner caps wide instances at one or two
+    /// levels ([`crate::planner::plan`]). `None` (the default) runs the
+    /// full search and is bit-identical to the pre-cap behavior; `Some(c)`
+    /// is clamped into `[1, |T|]`.
+    pub max_level: Option<usize>,
 }
 
 impl Default for IshmConfig {
@@ -291,6 +300,7 @@ impl Default for IshmConfig {
             epsilon: 0.1,
             improvement_tol: 1e-9,
             initial_thresholds: None,
+            max_level: None,
         }
     }
 }
@@ -379,8 +389,9 @@ impl Ishm {
         let mut obj = evaluator.evaluate(&h)?;
         stats.thresholds_explored += 1;
 
+        let level_cap = self.config.max_level.map_or(n, |c| c.clamp(1, n));
         let mut lh = 1usize;
-        while lh <= n {
+        while lh <= level_cap {
             stats.max_level = stats.max_level.max(lh);
             let combos = combinations(n, lh);
             let mut progress = 0usize;
@@ -654,6 +665,51 @@ mod tests {
             ..Default::default()
         });
         assert!(bad.solve(&spec, &mut eval).is_err());
+    }
+
+    #[test]
+    fn level_cap_at_or_above_n_is_bit_identical_to_uncapped() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let full = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        for cap in [spec.n_types(), spec.n_types() + 3] {
+            let mut e2 = ExactEvaluator::new(&spec, est);
+            let capped = Ishm::new(IshmConfig {
+                max_level: Some(cap),
+                ..Default::default()
+            })
+            .solve(&spec, &mut e2)
+            .unwrap();
+            assert_eq!(full.value.to_bits(), capped.value.to_bits());
+            assert_eq!(full.thresholds, capped.thresholds);
+            assert_eq!(
+                full.stats.thresholds_explored,
+                capped.stats.thresholds_explored
+            );
+        }
+    }
+
+    #[test]
+    fn level_cap_bounds_the_search() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let full = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let capped = Ishm::new(IshmConfig {
+            max_level: Some(1),
+            ..Default::default()
+        })
+        .solve(&spec, &mut e2)
+        .unwrap();
+        assert_eq!(capped.stats.max_level, 1);
+        assert!(capped.stats.thresholds_explored <= full.stats.thresholds_explored);
+        // The cap prunes the search space, so the value can only tie or
+        // worsen relative to the full search.
+        assert!(capped.value >= full.value - 1e-9);
     }
 
     #[test]

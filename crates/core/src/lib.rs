@@ -46,6 +46,9 @@
 //! * [`execute`] — an operational auditor that applies a solved policy to a
 //!   realized stream of alerts;
 //! * [`solver`] — a one-call facade combining ISHM + CGGS;
+//! * [`planner`] — hardness-aware strategy selection, type-cluster
+//!   decomposition, and parallel best-response pricing that scale the
+//!   facade past the paper's ≤ 5-type exact ceiling to 20–50 types;
 //! * [`datasets`] — the Syn A synthetic game (paper Table II) and random
 //!   game generators for tests and benchmarks;
 //! * [`scenario`] — the scenario substrate: a [`scenario::Scenario`]
@@ -91,6 +94,7 @@ pub mod model;
 pub mod ordering;
 pub mod payoff;
 pub mod persist;
+pub mod planner;
 pub mod quantal;
 pub mod scenario;
 pub mod sensitivity;
@@ -116,6 +120,10 @@ pub mod prelude {
     pub use crate::model::{AlertType, AttackAction, Attacker, GameSpec};
     pub use crate::ordering::{AuditOrder, PrecedenceConstraints};
     pub use crate::persist::PersistError;
+    pub use crate::planner::{
+        plan, DecomposedEvaluator, InstanceFeatures, SolveStrategy, TypeClusters, EXACT_MAX_TYPES,
+        ISHM_FULL_MAX_TYPES,
+    };
     pub use crate::quantal::QuantalResponse;
     pub use crate::scenario::{BankSource, Registry, Scenario, SnapshotVerify};
     pub use crate::simulation::{simulate_policy, SimulationReport};

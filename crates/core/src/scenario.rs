@@ -19,7 +19,10 @@
 //! * `syn-correlated` — a latent calm/storm regime lifts every type's
 //!   counts together (correlated workload via [`RegimeMixingCounts`]);
 //! * `syn-seasonal` — a weekly weekday/weekend cycle drifts the arrival
-//!   intensities ([`SeasonalCounts`]).
+//!   intensities ([`SeasonalCounts`]);
+//! * `syn-wide25`, `syn-wide50` — 25- and 50-type mixed-law workloads far
+//!   past the paper's exact-solve ceiling, served by the
+//!   [`crate::planner`] decomposed tier.
 //!
 //! The simulator crates (`emrsim`, `creditsim`, `tdmt`) implement
 //! [`Scenario`] for their workloads; the umbrella crate's
@@ -299,6 +302,16 @@ pub fn registry() -> Registry {
     r.register(Arc::new(Quantal));
     r.register(Arc::new(GeneralSum));
     r.register(Arc::new(Adaptive));
+    r.register(Arc::new(Wide {
+        key: "syn-wide25",
+        full: (25, 6, 6, 6.0),
+        small: (25, 5, 4, 6.0),
+    }));
+    r.register(Arc::new(Wide {
+        key: "syn-wide50",
+        full: (50, 6, 6, 10.0),
+        small: (32, 5, 4, 8.0),
+    }));
     r
 }
 
@@ -951,6 +964,105 @@ impl Scenario for Adaptive {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wide-type families (the planner's decomposed tier)
+// ---------------------------------------------------------------------
+
+/// Generate a wide-type audit game: `n_types` alert types cycling through
+/// small-support Gaussian / Poisson / Zipf count laws (all
+/// snapshot-capable), alternating 1.0 / 0.5 audit costs, and a seeded
+/// `n_attackers × n_victims` attack grid with rewards rising in the
+/// targeted type index. This is the shared generator behind the
+/// `syn-wide25` / `syn-wide50` registry families and the `exp_scale`
+/// types-vs-latency sweep, which calls it at arbitrary widths.
+///
+/// Deterministic in `(seed, shape)`; the RNG stream is nonce-separated
+/// (`0x51DE`) from every other scenario family.
+pub fn wide_game(
+    seed: u64,
+    n_types: usize,
+    n_attackers: usize,
+    n_victims: usize,
+    budget: f64,
+) -> Result<GameSpec, GameError> {
+    let mut b = GameSpecBuilder::new();
+    for t in 0..n_types {
+        let tier = (t / 3) % 3;
+        let dist: Arc<dyn CountDistribution> = match t % 3 {
+            0 => Arc::new(DiscretizedGaussian::with_halfwidth(
+                2.0 + 0.8 * tier as f64,
+                1.0,
+                2,
+            )),
+            1 => Arc::new(Poisson::new(0.8 + 0.3 * tier as f64)),
+            _ => Arc::new(Zipf::new(2.0 + 0.2 * tier as f64, 4 + (t % 2) as u64 * 2)),
+        };
+        let cost = if t % 2 == 0 { 1.0 } else { 0.5 };
+        b.alert_type(format!("W{t}"), cost, dist);
+    }
+    let mut rng = stream_rng(seed, 0x51DE);
+    for e in 0..n_attackers {
+        let actions: Vec<AttackAction> = (0..n_victims)
+            .map(|v| {
+                if rng.gen_bool(0.1) {
+                    return AttackAction::benign(format!("v{v}"), 0.4);
+                }
+                let t = rng.gen_range(0..n_types);
+                // Rewards rise with the targeted type index so the density
+                // ranking (and hence the clustering) is non-trivial.
+                let reward =
+                    3.0 + 3.0 * (t as f64 / n_types.max(1) as f64) + rng.gen_range(0.0..0.5);
+                AttackAction::deterministic(format!("v{v}"), t, reward, 0.4, 4.0)
+            })
+            .collect();
+        b.attacker(Attacker::new(format!("e{e}"), 1.0, actions));
+    }
+    b.budget(budget);
+    b.allow_opt_out(true);
+    b.build()
+}
+
+/// A wide-type registry family: `(types, attackers, victims, budget)` for
+/// the full and the CI-scale small build. Both builds keep `types` past
+/// the planner's uncapped-ISHM ceiling, so every conformance cell of
+/// these scenarios exercises the decomposed tier.
+struct Wide {
+    key: &'static str,
+    full: (usize, usize, usize, f64),
+    small: (usize, usize, usize, f64),
+}
+
+impl Scenario for Wide {
+    fn key(&self) -> &str {
+        self.key
+    }
+
+    fn source(&self) -> &str {
+        "core"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "wide-type workload: {} small-support mixed-law alert types, seeded {}x{} attack grid, budget {} (planner decomposed tier)",
+            self.full.0, self.full.1, self.full.2, self.full.3
+        )
+    }
+
+    fn suggested_epsilon(&self) -> f64 {
+        0.5
+    }
+
+    fn build(&self, seed: u64) -> Result<GameSpec, GameError> {
+        let (t, e, v, budget) = self.full;
+        wide_game(seed, t, e, v, budget)
+    }
+
+    fn build_small(&self, seed: u64) -> Result<GameSpec, GameError> {
+        let (t, e, v, budget) = self.small;
+        wide_game(seed, t, e, v, budget)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,10 +1082,12 @@ mod tests {
                 "syn-seasonal",
                 "syn-quantal",
                 "syn-general-sum",
-                "syn-adaptive"
+                "syn-adaptive",
+                "syn-wide25",
+                "syn-wide50"
             ]
         );
-        assert_eq!(r.len(), 9);
+        assert_eq!(r.len(), 11);
         assert!(!r.is_empty());
     }
 
@@ -1033,6 +1147,8 @@ mod tests {
             "syn-quantal",
             "syn-general-sum",
             "syn-adaptive",
+            "syn-wide25",
+            "syn-wide50",
         ] {
             let sc = r.get(key).unwrap();
             assert_ne!(
@@ -1074,6 +1190,20 @@ mod tests {
             let spec = sc.build(1).unwrap();
             assert_eq!(stream.len(), 9, "{}", sc.key());
             assert!(stream.iter().all(|row| row.len() == spec.n_types()));
+        }
+    }
+
+    #[test]
+    fn wide_scenarios_have_the_declared_widths() {
+        let r = registry();
+        for (key, full, small) in [("syn-wide25", 25, 25), ("syn-wide50", 50, 32)] {
+            let sc = r.get(key).unwrap();
+            assert_eq!(sc.build(0).unwrap().n_types(), full, "{key}");
+            assert_eq!(sc.build_small(0).unwrap().n_types(), small, "{key}");
+            // Both builds live past the uncapped-ISHM ceiling, so every
+            // solve of these scenarios runs the planner's decomposed tier.
+            assert!(small > crate::planner::ISHM_FULL_MAX_TYPES);
+            assert_eq!(sc.attacker_model().key(), "rational", "{key}");
         }
     }
 

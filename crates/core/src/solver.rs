@@ -1,5 +1,7 @@
 //! One-call facade combining ISHM (threshold search) with an inner LP
-//! evaluator (exact enumeration or CGGS) — the full pipeline of the paper.
+//! evaluator (exact enumeration, CGGS, or the planner's type-cluster
+//! decomposition) — the full pipeline of the paper plus the wide-type
+//! scale-out of [`crate::planner`].
 
 use crate::cggs::CggsConfig;
 use crate::detection::{
@@ -11,19 +13,30 @@ use crate::ishm::{CggsEvaluator, ExactEvaluator, Ishm, IshmConfig, IshmOutcome, 
 use crate::master::MasterSolution;
 use crate::model::GameSpec;
 use crate::ordering::AuditOrder;
+use crate::planner::{self, DecomposedEvaluator, InstanceFeatures, SolveStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Which inner LP strategy evaluates threshold candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum InnerKind {
-    /// Choose automatically: exact order enumeration up to 5 alert types
-    /// (≤ 120 orders), column generation beyond.
+    /// Let the planner choose from the instance's hardness features
+    /// ([`crate::planner::plan`]): exact order enumeration up to
+    /// [`crate::planner::EXACT_MAX_TYPES`] alert types, column generation
+    /// up to [`crate::planner::ISHM_FULL_MAX_TYPES`], and the level-capped
+    /// type-cluster decomposition beyond.
     #[default]
     Auto,
     /// Materialize all `|T|!` orderings (small `|T|` only).
     Exact,
     /// Column Generation Greedy Search (Algorithm 1).
     Cggs,
+    /// Force the planner's type-cluster decomposed evaluator
+    /// ([`crate::planner::DecomposedEvaluator`]) at any width. Tractable
+    /// everywhere: at ≤ [`crate::planner::EXACT_MAX_TYPES`] types its pool
+    /// is the full enumeration (bit-identical to [`InnerKind::Exact`]),
+    /// and past [`crate::planner::ISHM_FULL_MAX_TYPES`] it adopts the
+    /// planner's outer-search level cap.
+    Decomposed,
 }
 
 /// Facade configuration.
@@ -110,6 +123,10 @@ pub struct AuditSolution {
     /// hits, evictions, trie column passes) — the observability behind the
     /// `--cache-stats` flag of the experiment drivers.
     pub cache: CacheStats,
+    /// The inner strategy the planner selected (or the caller forced) for
+    /// this solve — `exact`, `cggs`, or a clustered decomposition with its
+    /// outer level cap.
+    pub strategy: SolveStrategy,
 }
 
 /// High-level OAP solver.
@@ -202,7 +219,8 @@ impl OapSolver {
             .shared
             .as_ref()
             .map(|_| self.working_share_key(&working));
-        self.solve_on(&working, &bank, warm, share_key)
+        let strategy = self.strategy_for(spec, &working);
+        self.solve_on(&working, &bank, warm, share_key, strategy)
     }
 
     /// Solve on an explicitly supplied common-random-number bank instead
@@ -231,7 +249,27 @@ impl OapSolver {
         } else {
             spec.clone()
         };
-        self.solve_on(&working, bank, warm, None)
+        let strategy = self.strategy_for(spec, &working);
+        self.solve_on(&working, bank, warm, None, strategy)
+    }
+
+    /// The inner strategy this solve will run: the configured
+    /// [`InnerKind`] taken literally, with `Auto` delegated to the
+    /// hardness-aware planner policy and `Decomposed` to its forced
+    /// variant (both read the instance features of the raw/working pair).
+    pub fn strategy_for(&self, raw: &GameSpec, working: &GameSpec) -> SolveStrategy {
+        match self.config.inner {
+            InnerKind::Exact => SolveStrategy::Exact,
+            InnerKind::Cggs => SolveStrategy::Cggs,
+            InnerKind::Auto => {
+                planner::plan(&InstanceFeatures::of(raw, working, self.config.n_samples))
+            }
+            InnerKind::Decomposed => planner::decomposed_strategy(&InstanceFeatures::of(
+                raw,
+                working,
+                self.config.n_samples,
+            )),
+        }
     }
 
     /// Adopt a published prefix-state snapshot into `engine`, when sharing
@@ -252,48 +290,62 @@ impl OapSolver {
         }
     }
 
-    /// Shared solve pipeline over a prepared (deduped) spec and bank.
+    /// Shared solve pipeline over a prepared (deduped) spec and bank,
+    /// running the planner-selected `strategy`.
     fn solve_on(
         &self,
         working: &GameSpec,
         bank: &stochastics::SampleBank,
         warm: Option<&WarmStart>,
         share_key: Option<u64>,
+        strategy: SolveStrategy,
     ) -> Result<AuditSolution, GameError> {
         let est = DetectionEstimator::new(working, bank, self.config.detection);
         let ishm = Ishm::new(IshmConfig {
             epsilon: self.config.epsilon,
             initial_thresholds: warm.and_then(|w| w.thresholds.clone()),
+            max_level: strategy.level_cap(),
             ..Default::default()
         });
 
-        let use_exact = match self.config.inner {
-            InnerKind::Exact => true,
-            InnerKind::Cggs => false,
-            InnerKind::Auto => working.n_types() <= 5,
-        };
-        let (outcome, cache): (IshmOutcome, CacheStats) = if use_exact {
-            let mut eval = ExactEvaluator::with_threads(working, est, self.config.threads);
-            self.adopt_shared(share_key, eval.engine());
-            let outcome = ishm.solve(working, &mut eval)?;
-            self.publish_shared(share_key, eval.engine());
-            let cache = eval.engine().cache_stats();
-            (outcome, cache)
-        } else {
-            let mut eval = CggsEvaluator::new(
-                working,
-                est,
-                CggsConfig {
-                    threads: self.config.threads,
-                    seed_columns: warm.map(|w| w.orders.clone()).unwrap_or_default(),
-                    ..Default::default()
-                },
-            );
-            self.adopt_shared(share_key, eval.engine());
-            let outcome = ishm.solve(working, &mut eval)?;
-            self.publish_shared(share_key, eval.engine());
-            let cache = eval.engine().cache_stats();
-            (outcome, cache)
+        let (outcome, cache): (IshmOutcome, CacheStats) = match strategy {
+            SolveStrategy::Exact => {
+                let mut eval = ExactEvaluator::with_threads(working, est, self.config.threads);
+                self.adopt_shared(share_key, eval.engine());
+                let outcome = ishm.solve(working, &mut eval)?;
+                self.publish_shared(share_key, eval.engine());
+                let cache = eval.engine().cache_stats();
+                (outcome, cache)
+            }
+            SolveStrategy::Cggs => {
+                let mut eval = CggsEvaluator::new(
+                    working,
+                    est,
+                    CggsConfig {
+                        threads: self.config.threads,
+                        seed_columns: warm.map(|w| w.orders.clone()).unwrap_or_default(),
+                        ..Default::default()
+                    },
+                );
+                self.adopt_shared(share_key, eval.engine());
+                let outcome = ishm.solve(working, &mut eval)?;
+                self.publish_shared(share_key, eval.engine());
+                let cache = eval.engine().cache_stats();
+                (outcome, cache)
+            }
+            SolveStrategy::Decomposed { .. } => {
+                let mut eval = DecomposedEvaluator::new(
+                    working,
+                    est,
+                    self.config.threads,
+                    warm.map(|w| w.orders.clone()).unwrap_or_default(),
+                );
+                self.adopt_shared(share_key, eval.engine());
+                let outcome = ishm.solve(working, &mut eval)?;
+                self.publish_shared(share_key, eval.engine());
+                let cache = eval.engine().cache_stats();
+                (outcome, cache)
+            }
         };
 
         let policy = AuditPolicy::new(
@@ -307,6 +359,7 @@ impl OapSolver {
             master: outcome.master,
             stats: outcome.stats,
             cache,
+            strategy,
         })
     }
 }
@@ -353,6 +406,67 @@ mod tests {
         .solve(&spec)
         .unwrap();
         assert!((auto.loss - exact.loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forced_decomposed_is_bit_identical_to_exact_on_small_games() {
+        let spec = random_game(&RandomGameConfig::default(), 41);
+        let base = SolverConfig {
+            n_samples: 80,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        let exact = OapSolver::new(SolverConfig {
+            inner: InnerKind::Exact,
+            ..base.clone()
+        })
+        .solve(&spec)
+        .unwrap();
+        let dec = OapSolver::new(SolverConfig {
+            inner: InnerKind::Decomposed,
+            ..base
+        })
+        .solve(&spec)
+        .unwrap();
+        assert_eq!(exact.loss.to_bits(), dec.loss.to_bits());
+        assert_eq!(exact.policy.thresholds, dec.policy.thresholds);
+        assert_eq!(exact.policy.orders, dec.policy.orders);
+        assert_eq!(exact.policy.probs, dec.policy.probs);
+        assert_eq!(
+            exact.stats.thresholds_explored,
+            dec.stats.thresholds_explored
+        );
+        assert!(matches!(dec.strategy, SolveStrategy::Decomposed { .. }));
+        assert_eq!(exact.strategy, SolveStrategy::Exact);
+    }
+
+    #[test]
+    fn auto_reports_the_planner_strategy() {
+        let small = random_game(&RandomGameConfig::default(), 5);
+        let sol = OapSolver::new(SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        })
+        .solve(&small)
+        .unwrap();
+        assert_eq!(sol.strategy, SolveStrategy::Exact);
+
+        let medium = random_game(
+            &RandomGameConfig {
+                n_types: 7,
+                ..Default::default()
+            },
+            5,
+        );
+        let sol = OapSolver::new(SolverConfig {
+            n_samples: 40,
+            epsilon: 0.5,
+            ..Default::default()
+        })
+        .solve(&medium)
+        .unwrap();
+        assert_eq!(sol.strategy, SolveStrategy::Cggs);
     }
 
     #[test]
@@ -417,7 +531,7 @@ mod tests {
             epsilon: 0.25,
             ..Default::default()
         };
-        for inner in [InnerKind::Exact, InnerKind::Cggs] {
+        for inner in [InnerKind::Exact, InnerKind::Cggs, InnerKind::Decomposed] {
             let solver = OapSolver::new(SolverConfig {
                 inner,
                 ..cfg.clone()
@@ -465,7 +579,7 @@ mod tests {
     #[test]
     fn explicit_bank_is_bit_identical_to_regeneration() {
         let spec = random_game(&RandomGameConfig::default(), 31);
-        for inner in [InnerKind::Exact, InnerKind::Cggs] {
+        for inner in [InnerKind::Exact, InnerKind::Cggs, InnerKind::Decomposed] {
             let solver = OapSolver::new(SolverConfig {
                 n_samples: 60,
                 epsilon: 0.25,

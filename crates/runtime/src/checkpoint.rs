@@ -128,6 +128,7 @@ fn encode_config(snap: &mut Snapshot, cfg: &RuntimeConfig) {
         InnerKind::Auto => 0,
         InnerKind::Exact => 1,
         InnerKind::Cggs => 2,
+        InnerKind::Decomposed => 3,
     });
     w.put_u64(match cfg.solver.detection {
         DetectionModel::PaperApprox => 0,
@@ -158,6 +159,7 @@ fn decode_config(snap: &Snapshot) -> Result<RuntimeConfig, PersistError> {
         0 => InnerKind::Auto,
         1 => InnerKind::Exact,
         2 => InnerKind::Cggs,
+        3 => InnerKind::Decomposed,
         k => return Err(PersistError::Spec(format!("unknown inner kind {k}"))),
     };
     let detection = match r.get_u64()? {

@@ -37,10 +37,14 @@ pub const CONFORMANCE_SAMPLES: usize = 40;
 /// ISHM step size for the conformance cells (coarse, for speed).
 pub const CONFORMANCE_EPSILON: f64 = 0.4;
 
-/// Exact inner enumeration materializes `|T|!` orders; beyond this many
-/// types the `ishm-exact` cell is skipped (the registry's 7-type EMR
-/// scenarios would need 5040 orders per threshold vector).
-pub const EXACT_MAX_TYPES: usize = 5;
+/// Tractability gates of the matrix, shared with the solver's planner so
+/// the conformance harness and `InnerKind::Auto` can never disagree about
+/// where a tier ends: `EXACT_MAX_TYPES` bounds the `ishm-exact` cells
+/// (the exact inner enumerates `|T|!` audit orders per threshold vector —
+/// the registry's 7-type EMR scenarios would need 5040), and
+/// `ISHM_FULL_MAX_TYPES` bounds the `ishm-cggs` cells (past it the full
+/// un-capped ISHM outer search is the planner's job).
+pub use audit_game::planner::{EXACT_MAX_TYPES, ISHM_FULL_MAX_TYPES};
 
 /// One solver configuration of the conformance matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,14 +55,20 @@ pub enum SolverMode {
     IshmExact,
     /// ISHM threshold search over the CGGS inner solver.
     IshmCggs,
+    /// The hardness-aware planner (`InnerKind::Auto`): strategy selection
+    /// plus type-cluster decomposition. Only materialized past the
+    /// full-ISHM gate — below it the planner picks the same strategies
+    /// the other modes already pin, so the cell would be a duplicate.
+    Planner,
 }
 
 impl SolverMode {
     /// Every mode, in snapshot order.
-    pub const ALL: [SolverMode; 3] = [
+    pub const ALL: [SolverMode; 4] = [
         SolverMode::Cggs,
         SolverMode::IshmExact,
         SolverMode::IshmCggs,
+        SolverMode::Planner,
     ];
 
     /// Stable snapshot key.
@@ -67,14 +77,38 @@ impl SolverMode {
             SolverMode::Cggs => "cggs",
             SolverMode::IshmExact => "ishm-exact",
             SolverMode::IshmCggs => "ishm-cggs",
+            SolverMode::Planner => "ishm-planner",
         }
     }
 
-    /// Whether the mode is tractable for this game.
+    /// Whether the mode runs for this game.
     pub fn applicable(&self, spec: &GameSpec) -> bool {
         match self {
             SolverMode::IshmExact => spec.n_types() <= EXACT_MAX_TYPES,
-            _ => true,
+            SolverMode::IshmCggs => spec.n_types() <= ISHM_FULL_MAX_TYPES,
+            SolverMode::Planner => spec.n_types() > ISHM_FULL_MAX_TYPES,
+            SolverMode::Cggs => true,
+        }
+    }
+
+    /// The `#[ignore]`-style marker for an inapplicable mode, or `None`
+    /// when the omission is definitional rather than an intractability
+    /// skip: the planner cell simply does not exist below the full-ISHM
+    /// gate (it would duplicate `ishm-cggs`), and plain CGGS always runs.
+    pub fn skip_reason(&self, spec: &GameSpec) -> Option<String> {
+        match self {
+            SolverMode::IshmExact => Some(format!(
+                "{} alert types exceed EXACT_MAX_TYPES = {EXACT_MAX_TYPES}: the exact inner \
+                 enumerates |T|! audit orders per threshold vector",
+                spec.n_types()
+            )),
+            SolverMode::IshmCggs => Some(format!(
+                "{} alert types exceed ISHM_FULL_MAX_TYPES = {ISHM_FULL_MAX_TYPES}: the \
+                 un-capped ISHM outer search sweeps C(|T|, l) shrink subsets per level; \
+                 the ishm-planner cell covers this width",
+                spec.n_types()
+            )),
+            SolverMode::Cggs | SolverMode::Planner => None,
         }
     }
 }
@@ -168,11 +202,11 @@ pub fn run_cell(
             let out = Cggs::default().solve(&working, &est, &thresholds)?;
             (out.master.value, thresholds)
         }
-        SolverMode::IshmExact | SolverMode::IshmCggs => {
-            let inner = if mode == SolverMode::IshmExact {
-                InnerKind::Exact
-            } else {
-                InnerKind::Cggs
+        SolverMode::IshmExact | SolverMode::IshmCggs | SolverMode::Planner => {
+            let inner = match mode {
+                SolverMode::IshmExact => InnerKind::Exact,
+                SolverMode::IshmCggs => InnerKind::Cggs,
+                _ => InnerKind::Auto,
             };
             let sol = OapSolver::new(SolverConfig {
                 epsilon: CONFORMANCE_EPSILON,
@@ -295,22 +329,22 @@ pub fn run_scenario(sc: &Arc<dyn Scenario>) -> Result<ScenarioReport, GameError>
     let seed = sc.default_seed();
     let spec = sc.build_small(seed)?;
     let exact_skip_reason = || {
-        format!(
-            "{} alert types exceed EXACT_MAX_TYPES = {EXACT_MAX_TYPES}: the exact inner \
-             enumerates |T|! audit orders per threshold vector",
-            spec.n_types()
-        )
+        SolverMode::IshmExact
+            .skip_reason(&spec)
+            .expect("ishm-exact always has a skip reason")
     };
     let mut cells = Vec::new();
     let mut skipped = Vec::new();
     for mode in SolverMode::ALL {
         if !mode.applicable(&spec) {
-            for model in DETECTION_MODELS {
-                skipped.push(SkippedCell {
-                    solver: mode.key(),
-                    detection: detection_key(model),
-                    reason: exact_skip_reason(),
-                });
+            if let Some(reason) = mode.skip_reason(&spec) {
+                for model in DETECTION_MODELS {
+                    skipped.push(SkippedCell {
+                        solver: mode.key(),
+                        detection: detection_key(model),
+                        reason: reason.clone(),
+                    });
+                }
             }
             continue;
         }
@@ -513,7 +547,7 @@ mod tests {
     fn modes_and_models_have_stable_keys() {
         assert_eq!(
             SolverMode::ALL.map(|m| m.key()),
-            ["cggs", "ishm-exact", "ishm-cggs"]
+            ["cggs", "ishm-exact", "ishm-cggs", "ishm-planner"]
         );
         assert_eq!(
             DETECTION_MODELS.map(detection_key),
@@ -526,6 +560,25 @@ mod tests {
         let small = audit_game::datasets::syn_a(); // 4 types
         assert!(SolverMode::IshmExact.applicable(&small));
         assert!(SolverMode::Cggs.applicable(&small));
+        // Below the full-ISHM gate the planner cell is definitionally
+        // absent — no skip marker, because nothing tractable was skipped.
+        assert!(!SolverMode::Planner.applicable(&small));
+        assert!(SolverMode::Planner.skip_reason(&small).is_none());
+    }
+
+    #[test]
+    fn planner_mode_takes_over_past_the_full_ishm_gate() {
+        let reg = audit_game::scenario::registry();
+        let wide = reg.get("syn-wide25").unwrap();
+        let spec = wide.build_small(wide.default_seed()).unwrap();
+        assert!(spec.n_types() > ISHM_FULL_MAX_TYPES);
+        assert!(SolverMode::Planner.applicable(&spec));
+        assert!(!SolverMode::IshmCggs.applicable(&spec));
+        let reason = SolverMode::IshmCggs.skip_reason(&spec).unwrap();
+        assert!(
+            reason.contains("ISHM_FULL_MAX_TYPES") && reason.contains("ishm-planner"),
+            "reason should name the gate and the successor: {reason}"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub use audit_game::scenario::{Registry, Scenario};
 /// | `syn-quantal` | core | quantal-response (boundedly rational) attacker |
 /// | `syn-general-sum` | core | general-sum damage-model attacker |
 /// | `syn-adaptive` | core | adaptive attacker best-responding across epochs |
+/// | `syn-wide25` | core | 25 alert types, planner decomposed tier |
+/// | `syn-wide50` | core | 50 alert types, planner decomposed tier |
 /// | `emr-reaa` | emrsim | Rea A EMR access alerts (Gaussian fit) |
 /// | `emr-reaa-empirical` | emrsim | Rea A with empirical count fit |
 /// | `credit-reab` | creditsim | Rea B credit applications |
@@ -71,6 +73,8 @@ mod tests {
                 "syn-quantal",
                 "syn-general-sum",
                 "syn-adaptive",
+                "syn-wide25",
+                "syn-wide50",
                 "emr-reaa",
                 "emr-reaa-empirical",
                 "credit-reab",

@@ -30,10 +30,17 @@ fn empty_warm_start_is_bit_identical_on_every_registry_scenario() {
     let reg = registry();
     for sc in reg.iter() {
         let spec = sc.build_small(sc.default_seed()).unwrap();
-        // Auto picks the exact inner for small games and CGGS for large
-        // ones; pin CGGS explicitly as well so the seed-column seam is
-        // exercised on every scenario, not just the big ones.
-        for inner in [InnerKind::Auto, InnerKind::Cggs] {
+        // Auto lets the planner pick the tier; pin a second inner
+        // explicitly as well so the seed-column seam is exercised on every
+        // scenario. Past the full-ISHM gate that second inner must be
+        // Decomposed — forcing CGGS there would run the un-capped outer
+        // search, which needs ~2^|T| evaluations to prove termination.
+        let forced = if spec.n_types() > ISHM_FULL_MAX_TYPES {
+            InnerKind::Decomposed
+        } else {
+            InnerKind::Cggs
+        };
+        for inner in [InnerKind::Auto, forced] {
             let solver = solver_for(sc.as_ref(), inner);
             let cold = solver.solve(&spec).unwrap();
             let warm = solver

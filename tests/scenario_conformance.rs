@@ -158,7 +158,7 @@ fn ishm_exact_gating_is_explicit() {
                 skipped_exact.len()
             );
             assert!(
-                ["emr-reaa", "emr-reaa-empirical"].contains(&sc.key()),
+                ["emr-reaa", "emr-reaa-empirical", "syn-wide25", "syn-wide50"].contains(&sc.key()),
                 "{}: unexpected scenario above the exact gate",
                 sc.key()
             );
@@ -213,9 +213,12 @@ fn strategic_scenarios_pin_their_model_cells() {
 
 /// The acceptance floor of the substrate: at least 8 scenarios spanning
 /// all four substrates, each with a committed snapshot covering at least
-/// the CGGS and ISHM-CGGS modes under all three detection models.
+/// CGGS plus the width-appropriate ISHM mode (ISHM-CGGS up to the
+/// full-ISHM gate, the planner's decomposed tier past it) under all
+/// three detection models.
 #[test]
 fn registry_coverage_floor() {
+    use alert_audit::conformance::ISHM_FULL_MAX_TYPES;
     let reg = registry();
     assert!(reg.len() >= 8, "registry shrank to {}", reg.len());
     if update_mode() {
@@ -226,11 +229,21 @@ fn registry_coverage_floor() {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|_| panic!("{}: missing golden snapshot", sc.key()));
         let golden = Value::parse(&text).expect("parseable golden");
+        let n_types = golden
+            .get("n_types")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{}: golden lacks n_types", sc.key()))
+            as usize;
+        let ishm_mode = if n_types > ISHM_FULL_MAX_TYPES {
+            "ishm-planner"
+        } else {
+            "ishm-cggs"
+        };
         let cells = golden
             .get("cells")
             .and_then(Value::as_arr)
             .unwrap_or_default();
-        for solver in ["cggs", "ishm-cggs"] {
+        for solver in ["cggs", ishm_mode] {
             for detection in ["paper-approx", "attack-inclusive", "operational"] {
                 assert!(
                     cells.iter().any(|c| {

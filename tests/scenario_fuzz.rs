@@ -21,7 +21,9 @@ use alert_audit::game::general_sum::{damage_under_mixture, DamageModel};
 use alert_audit::game::master::MasterSolver;
 use alert_audit::game::ordering::AuditOrder;
 use alert_audit::game::payoff::PayoffMatrix;
+use alert_audit::game::planner::{decomposed_pool, TypeClusters, DEFAULT_CLUSTER_SIZE};
 use alert_audit::game::quantal::QuantalResponse;
+use alert_audit::game::solver::{InnerKind, OapSolver, SolverConfig};
 
 fn cases() -> u64 {
     std::env::var("FUZZ_CASES")
@@ -177,5 +179,120 @@ fn cggs_agrees_with_brute_force_on_small_fuzzed_games() {
             full.master.value,
             bf.value
         );
+    }
+}
+
+/// At or below `EXACT_MAX_TYPES`, the forced decomposed inner degrades to
+/// exhaustive enumeration and must be **bit-identical** to the exact
+/// inner on fuzzed games — not just close: same loss bits, same policy,
+/// same exploration counts.
+#[test]
+fn decomposed_inner_is_bit_identical_to_exact_on_fuzzed_small_games() {
+    let cfg = FuzzConfig::default(); // 2–4 types: always on the exhaustive path
+    for seed in 0..cases().min(16) {
+        let spec = fuzz_game(&cfg, seed);
+        let solve = |inner: InnerKind| {
+            OapSolver::new(SolverConfig {
+                epsilon: 0.5,
+                n_samples: 24,
+                seed,
+                inner,
+                ..Default::default()
+            })
+            .solve(&spec)
+            .unwrap()
+        };
+        let exact = solve(InnerKind::Exact);
+        let dec = solve(InnerKind::Decomposed);
+        assert_eq!(
+            exact.loss.to_bits(),
+            dec.loss.to_bits(),
+            "seed {seed}: decomposed loss diverged from exact"
+        );
+        assert_eq!(
+            exact.policy.thresholds, dec.policy.thresholds,
+            "seed {seed}"
+        );
+        assert_eq!(exact.policy.orders, dec.policy.orders, "seed {seed}");
+        assert_eq!(exact.policy.probs, dec.policy.probs, "seed {seed}");
+        assert_eq!(
+            exact.stats.thresholds_explored, dec.stats.thresholds_explored,
+            "seed {seed}"
+        );
+    }
+}
+
+/// On wide fuzzed games (16–32 types, where exhaustive enumeration is
+/// impossible) the master LP is monotone in the column pool: the value
+/// over the union of the decomposed pool and the CGGS-generated columns
+/// is at most the value over either pool alone. This brackets the
+/// decomposition against column generation without needing an exact
+/// baseline at that width.
+#[test]
+fn decomposed_and_cggs_pools_bracket_their_union_on_wide_games() {
+    let cfg = FuzzConfig::wide();
+    for seed in 0..cases().min(8) {
+        let spec = fuzz_game(&cfg, seed);
+        let bank = spec.sample_bank(24, seed);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let thresholds: Vec<f64> = spec
+            .threshold_upper_bounds()
+            .into_iter()
+            .map(|b| b.min(spec.budget))
+            .collect();
+
+        let clusters = TypeClusters::build(&spec, DEFAULT_CLUSTER_SIZE);
+        let dec_pool = decomposed_pool(&spec, &clusters);
+        let value_of = |orders: Vec<AuditOrder>| {
+            let matrix = PayoffMatrix::build(&spec, &est, orders, &thresholds);
+            MasterSolver::solve(&spec, &matrix).unwrap().value
+        };
+        let dec_value = value_of(dec_pool.clone());
+
+        let cggs = Cggs::default().solve(&spec, &est, &thresholds).unwrap();
+        let cggs_value = cggs.master.value;
+
+        let mut union = dec_pool;
+        for o in cggs.orders {
+            if !union.contains(&o) {
+                union.push(o);
+            }
+        }
+        let union_value = value_of(union);
+        assert!(
+            union_value <= dec_value + 1e-7,
+            "seed {seed}: union {union_value} above decomposed pool {dec_value}"
+        );
+        assert!(
+            union_value <= cggs_value + 1e-7,
+            "seed {seed}: union {union_value} above CGGS pool {cggs_value}"
+        );
+    }
+}
+
+/// Budget monotonicity survives the decomposed tier: over the **fixed**
+/// decomposed column pool of a wide fuzzed game, the master value at
+/// full-coverage thresholds is non-increasing in the budget.
+#[test]
+fn value_is_monotone_in_budget_over_the_decomposed_pool_on_wide_games() {
+    let cfg = FuzzConfig::wide();
+    for seed in 0..cases().min(8) {
+        let mut spec = fuzz_game(&cfg, seed);
+        let bank = spec.sample_bank(24, 99);
+        let clusters = TypeClusters::build(&spec, DEFAULT_CLUSTER_SIZE);
+        let pool = decomposed_pool(&spec, &clusters);
+        let thresholds = spec.threshold_upper_bounds();
+        let mut prev = f64::INFINITY;
+        for budget in [2.0, 4.0, 8.0, 16.0] {
+            spec.budget = budget;
+            let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+            let matrix = PayoffMatrix::build(&spec, &est, pool.clone(), &thresholds);
+            let v = MasterSolver::solve(&spec, &matrix).unwrap().value;
+            assert!(
+                v <= prev + 1e-6,
+                "seed {seed}: value rose to {v} from {prev} at budget {budget}"
+            );
+            prev = v;
+        }
     }
 }
