@@ -85,6 +85,7 @@ fn main() {
         FleetConfig {
             workers,
             share_caches: !isolated,
+            ..FleetConfig::default()
         },
     );
     let report = fleet.run().expect("fleet runs");

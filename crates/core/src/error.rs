@@ -23,6 +23,18 @@ pub enum GameError {
     },
     /// Loading or saving a persistent snapshot failed.
     Persist(PersistError),
+    /// An ingested alert epoch was malformed: a period row's arity did not
+    /// match the game's alert-type count. The runtime rejects the epoch
+    /// with this typed error (and the supervisor quarantines the tenant)
+    /// instead of panicking mid-stream.
+    MalformedStream {
+        /// Zero-based period index of the offending row.
+        period: usize,
+        /// Expected row arity (the game's alert-type count).
+        expected: usize,
+        /// Observed row arity.
+        got: usize,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -37,6 +49,15 @@ impl fmt::Display for GameError {
                 known.join(", ")
             ),
             GameError::Persist(e) => write!(f, "snapshot persistence failed: {e}"),
+            GameError::MalformedStream {
+                period,
+                expected,
+                got,
+            } => write!(
+                f,
+                "malformed alert stream: period {period} carries {got} counts \
+                 but the game has {expected} alert types"
+            ),
         }
     }
 }

@@ -292,6 +292,15 @@ pub struct IshmConfig {
     /// full search and is bit-identical to the pre-cap behavior; `Some(c)`
     /// is clamped into `[1, |T|]`.
     pub max_level: Option<usize>,
+    /// Deterministic work budget on the shrink search: a cap on inner LP
+    /// evaluations (the `thresholds_explored` counter — never wall-clock,
+    /// so budgeted runs are bit-reproducible). The initial evaluation of
+    /// the start vector always runs, so a budgeted solve still commits a
+    /// feasible policy; when the cap stops the search early the best
+    /// vector found so far is kept and [`SearchStats::budget_exhausted`]
+    /// is set. `None` (the default) is bit-identical to an unbudgeted
+    /// search.
+    pub eval_budget: Option<usize>,
 }
 
 impl Default for IshmConfig {
@@ -301,6 +310,7 @@ impl Default for IshmConfig {
             improvement_tol: 1e-9,
             initial_thresholds: None,
             max_level: None,
+            eval_budget: None,
         }
     }
 }
@@ -314,6 +324,9 @@ pub struct SearchStats {
     pub improvements: usize,
     /// Highest subset level `lh` reached.
     pub max_level: usize,
+    /// True when [`IshmConfig::eval_budget`] stopped the search before it
+    /// converged; the committed policy is the best vector found in budget.
+    pub budget_exhausted: bool,
 }
 
 /// Result of an ISHM run.
@@ -389,13 +402,23 @@ impl Ishm {
         let mut obj = evaluator.evaluate(&h)?;
         stats.thresholds_explored += 1;
 
+        // The budget caps LP evaluations, never wall-clock, so a budgeted
+        // run is bit-reproducible; the start-vector evaluation above is
+        // always allowed so even `Some(0)` commits a feasible policy.
+        let budget = self.config.eval_budget;
+        let spent = |stats: &SearchStats| budget.is_some_and(|b| stats.thresholds_explored >= b);
+
         let level_cap = self.config.max_level.map_or(n, |c| c.clamp(1, n));
         let mut lh = 1usize;
-        while lh <= level_cap {
+        'search: while lh <= level_cap {
             stats.max_level = stats.max_level.max(lh);
             let combos = combinations(n, lh);
             let mut progress = 0usize;
             for i in 1..=n_ratios {
+                if spent(&stats) {
+                    stats.budget_exhausted = true;
+                    break 'search;
+                }
                 let ratio = (1.0 - i as f64 * self.config.epsilon).max(0.0);
                 // Materialize this sweep's candidate vectors once (`None`
                 // where flooring absorbed the shrink — a no-op cannot
@@ -415,7 +438,13 @@ impl Ishm {
                         (temp != h).then_some(temp)
                     })
                     .collect();
-                let batch: Vec<Vec<f64>> = temps.iter().flatten().cloned().collect();
+                let mut batch: Vec<Vec<f64>> = temps.iter().flatten().cloned().collect();
+                if let Some(b) = budget {
+                    // Only prime what the scan below may still evaluate:
+                    // the scan stops at the cap, and priming past it would
+                    // spend (deterministic) work the budget exists to bound.
+                    batch.truncate(b - stats.thresholds_explored);
+                }
                 evaluator.prime(&batch)?;
                 let mut best_obj = f64::INFINITY;
                 let mut best_combo: Option<usize> = None;
@@ -423,6 +452,10 @@ impl Ishm {
                     let Some(temp) = temp else {
                         continue;
                     };
+                    if spent(&stats) {
+                        stats.budget_exhausted = true;
+                        break;
+                    }
                     let candidate = evaluator.evaluate(temp)?;
                     stats.thresholds_explored += 1;
                     if candidate < best_obj {
@@ -430,6 +463,9 @@ impl Ishm {
                         best_combo = Some(j);
                     }
                 }
+                // An improvement found in a partial (budget-clipped) scan
+                // is still accepted: degradation commits the best vector
+                // seen, it never discards paid-for progress.
                 if best_obj < obj - self.config.improvement_tol {
                     obj = best_obj;
                     let combo = &combos[best_combo.expect("improvement implies a combo")];
@@ -438,7 +474,13 @@ impl Ishm {
                     }
                     stats.improvements += 1;
                     progress = 0;
+                    if stats.budget_exhausted {
+                        break 'search;
+                    }
                     break;
+                }
+                if stats.budget_exhausted {
+                    break 'search;
                 }
                 progress = i;
             }
@@ -710,6 +752,77 @@ mod tests {
         // The cap prunes the search space, so the value can only tie or
         // worsen relative to the full search.
         assert!(capped.value >= full.value - 1e-9);
+    }
+
+    #[test]
+    fn generous_eval_budget_is_bit_identical_to_unbudgeted() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let full = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        assert!(!full.stats.budget_exhausted);
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let budgeted = Ishm::new(IshmConfig {
+            eval_budget: Some(full.stats.thresholds_explored + 1),
+            ..Default::default()
+        })
+        .solve(&spec, &mut e2)
+        .unwrap();
+        assert!(!budgeted.stats.budget_exhausted);
+        assert_eq!(full.value.to_bits(), budgeted.value.to_bits());
+        assert_eq!(full.thresholds, budgeted.thresholds);
+        assert_eq!(full.master.p_orders, budgeted.master.p_orders);
+        assert_eq!(
+            full.stats.thresholds_explored,
+            budgeted.stats.thresholds_explored
+        );
+    }
+
+    #[test]
+    fn eval_budget_caps_exploration_and_flags_exhaustion() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let full = Ishm::default_config().solve(&spec, &mut e1).unwrap();
+        for budget in [0usize, 1, 3, 5] {
+            let mut e2 = ExactEvaluator::new(&spec, est);
+            let out = Ishm::new(IshmConfig {
+                eval_budget: Some(budget),
+                ..Default::default()
+            })
+            .solve(&spec, &mut e2)
+            .unwrap();
+            // The start vector is always evaluated, so even budget 0
+            // commits a feasible policy from exactly one LP evaluation.
+            assert!(out.stats.thresholds_explored <= budget.max(1), "{budget}");
+            assert!(out.stats.budget_exhausted, "{budget}");
+            assert!(out.value.is_finite());
+            let psum: f64 = out.master.p_orders.iter().sum();
+            assert!((psum - 1.0).abs() < 1e-6, "{budget}");
+            // Pruned search can only tie or worsen the objective.
+            assert!(out.value >= full.value - 1e-9, "{budget}");
+        }
+    }
+
+    #[test]
+    fn eval_budget_runs_are_reproducible() {
+        let spec = small_spec(3.0);
+        let bank = spec.sample_bank(300, 1);
+        let est = DetectionEstimator::new(&spec, &bank, DetectionModel::PaperApprox);
+        let cfg = IshmConfig {
+            eval_budget: Some(4),
+            ..Default::default()
+        };
+        let mut e1 = ExactEvaluator::new(&spec, est);
+        let a = Ishm::new(cfg.clone()).solve(&spec, &mut e1).unwrap();
+        let mut e2 = ExactEvaluator::new(&spec, est);
+        let b = Ishm::new(cfg).solve(&spec, &mut e2).unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.thresholds, b.thresholds);
+        assert_eq!(a.stats.thresholds_explored, b.stats.thresholds_explored);
+        assert_eq!(a.stats.budget_exhausted, b.stats.budget_exhausted);
     }
 
     #[test]

@@ -127,5 +127,7 @@ pub mod prelude {
     pub use crate::quantal::QuantalResponse;
     pub use crate::scenario::{BankSource, Registry, Scenario, SnapshotVerify};
     pub use crate::simulation::{simulate_policy, SimulationReport};
-    pub use crate::solver::{AuditSolution, InnerKind, OapSolver, SolverConfig, WarmStart};
+    pub use crate::solver::{
+        AuditSolution, DegradeReason, InnerKind, OapSolver, SolverConfig, WarmStart,
+    };
 }

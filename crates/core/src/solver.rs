@@ -57,6 +57,20 @@ pub struct SolverConfig {
     /// Worker threads for batched `Pal` evaluation. Results are identical
     /// at every thread count (see [`crate::detection::PalEngine`]).
     pub threads: usize,
+    /// Deterministic work budget per solve rung: a cap on inner LP
+    /// evaluations of the ISHM shrink search
+    /// ([`crate::ishm::IshmConfig::eval_budget`] — a counter, never
+    /// wall-clock, so budgeted solves stay bit-reproducible). When the
+    /// planned strategy exhausts the budget the solver descends the
+    /// degradation ladder (Exact → Cggs → Decomposed), giving each rung
+    /// the same allowance; the first rung that converges in budget is
+    /// committed, and [`AuditSolution::degrade`] records the descent. If
+    /// every rung exhausts, the final (cheapest) rung's best-in-budget
+    /// policy — always feasible, since the start vector is always
+    /// evaluated — is committed as `DegradeReason::Truncated`. `None`
+    /// (the default) disables the ladder and is bit-identical to the
+    /// unbudgeted solver.
+    pub work_budget: Option<usize>,
 }
 
 impl Default for SolverConfig {
@@ -69,6 +83,50 @@ impl Default for SolverConfig {
             detection: DetectionModel::PaperApprox,
             dedup_actions: true,
             threads: 1,
+            work_budget: None,
+        }
+    }
+}
+
+/// Why (and how far) a budgeted solve degraded from its planned strategy.
+/// Recorded on [`AuditSolution::degrade`] and carried into the runtime's
+/// fingerprinted telemetry, so degraded epochs are grep-able and chaos runs
+/// reproduce bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// The planned strategy exhausted its work budget; the solve walked
+    /// `tiers` rungs down the Exact → Cggs → Decomposed ladder before a
+    /// rung converged within budget (`tiers ≥ 1`).
+    Degraded {
+        /// Rungs descended below the planned strategy.
+        tiers: usize,
+    },
+    /// Every ladder rung exhausted the budget; the final rung's
+    /// best-in-budget policy was committed.
+    Truncated,
+    /// The scheduled re-solve failed outright and the runtime re-committed
+    /// the incumbent policy instead (recorded by `audit-runtime`, never by
+    /// the solver itself).
+    KeptIncumbent,
+}
+
+impl DegradeReason {
+    /// Stable short key for telemetry, JSON, and grep lines.
+    pub fn key(&self) -> String {
+        match self {
+            DegradeReason::Degraded { tiers } => format!("degraded:{tiers}"),
+            DegradeReason::Truncated => "truncated".into(),
+            DegradeReason::KeptIncumbent => "kept-incumbent".into(),
+        }
+    }
+
+    /// Stable numeric code for fingerprinting (`Degraded{tiers}` maps to
+    /// `16 + tiers` so distinct descents hash apart).
+    pub fn code(&self) -> u64 {
+        match self {
+            DegradeReason::Degraded { tiers } => 16 + *tiers as u64,
+            DegradeReason::Truncated => 1,
+            DegradeReason::KeptIncumbent => 2,
         }
     }
 }
@@ -123,10 +181,15 @@ pub struct AuditSolution {
     /// hits, evictions, trie column passes) — the observability behind the
     /// `--cache-stats` flag of the experiment drivers.
     pub cache: CacheStats,
-    /// The inner strategy the planner selected (or the caller forced) for
-    /// this solve — `exact`, `cggs`, or a clustered decomposition with its
-    /// outer level cap.
+    /// The inner strategy that produced this solution — `exact`, `cggs`,
+    /// or a clustered decomposition with its outer level cap. Under a
+    /// binding work budget this can sit *below* the planner's pick: it is
+    /// the ladder rung actually committed.
     pub strategy: SolveStrategy,
+    /// `Some` when a work budget forced this solve off its planned
+    /// strategy (ladder descent or truncation); `None` on an unbudgeted or
+    /// within-budget solve.
+    pub degrade: Option<DegradeReason>,
 }
 
 /// High-level OAP solver.
@@ -219,8 +282,7 @@ impl OapSolver {
             .shared
             .as_ref()
             .map(|_| self.working_share_key(&working));
-        let strategy = self.strategy_for(spec, &working);
-        self.solve_on(&working, &bank, warm, share_key, strategy)
+        self.solve_ladder(spec, &working, &bank, warm, share_key)
     }
 
     /// Solve on an explicitly supplied common-random-number bank instead
@@ -249,8 +311,7 @@ impl OapSolver {
         } else {
             spec.clone()
         };
-        let strategy = self.strategy_for(spec, &working);
-        self.solve_on(&working, bank, warm, None, strategy)
+        self.solve_ladder(spec, &working, bank, warm, None)
     }
 
     /// The inner strategy this solve will run: the configured
@@ -290,8 +351,64 @@ impl OapSolver {
         }
     }
 
+    /// The Exact → Cggs → Decomposed rung sequence a budgeted solve of
+    /// this instance walks: the planned strategy first, then every
+    /// strictly cheaper tier. A solve planned `Decomposed` is already on
+    /// the cheapest rung.
+    fn ladder_for(&self, raw: &GameSpec, working: &GameSpec) -> Vec<SolveStrategy> {
+        let planned = self.strategy_for(raw, working);
+        let decomposed = || {
+            planner::decomposed_strategy(&InstanceFeatures::of(raw, working, self.config.n_samples))
+        };
+        match planned {
+            SolveStrategy::Exact => vec![planned, SolveStrategy::Cggs, decomposed()],
+            SolveStrategy::Cggs => vec![planned, decomposed()],
+            SolveStrategy::Decomposed { .. } => vec![planned],
+        }
+    }
+
+    /// Budget-aware solve: without a work budget this is exactly one run
+    /// of the planned strategy (bit-identical to the pre-ladder solver);
+    /// with one, each rung of [`OapSolver::ladder_for`] gets the full
+    /// allowance and the first rung that converges within it is committed.
+    /// Total work is therefore bounded by `rungs × budget` evaluations —
+    /// still deterministic, and in the worst case the final rung's
+    /// best-in-budget policy ships as [`DegradeReason::Truncated`].
+    fn solve_ladder(
+        &self,
+        raw: &GameSpec,
+        working: &GameSpec,
+        bank: &stochastics::SampleBank,
+        warm: Option<&WarmStart>,
+        share_key: Option<u64>,
+    ) -> Result<AuditSolution, GameError> {
+        let Some(budget) = self.config.work_budget else {
+            let strategy = self.strategy_for(raw, working);
+            return self.solve_on(working, bank, warm, share_key, strategy, None);
+        };
+        let ladder = self.ladder_for(raw, working);
+        let last = ladder.len() - 1;
+        for (tier, strategy) in ladder.into_iter().enumerate() {
+            let sol = self.solve_on(working, bank, warm, share_key, strategy, Some(budget))?;
+            if !sol.stats.budget_exhausted {
+                return Ok(AuditSolution {
+                    degrade: (tier > 0).then_some(DegradeReason::Degraded { tiers: tier }),
+                    ..sol
+                });
+            }
+            if tier == last {
+                return Ok(AuditSolution {
+                    degrade: Some(DegradeReason::Truncated),
+                    ..sol
+                });
+            }
+        }
+        unreachable!("ladder is never empty")
+    }
+
     /// Shared solve pipeline over a prepared (deduped) spec and bank,
-    /// running the planner-selected `strategy`.
+    /// running the planner-selected `strategy` under an optional
+    /// evaluation budget.
     fn solve_on(
         &self,
         working: &GameSpec,
@@ -299,12 +416,14 @@ impl OapSolver {
         warm: Option<&WarmStart>,
         share_key: Option<u64>,
         strategy: SolveStrategy,
+        eval_budget: Option<usize>,
     ) -> Result<AuditSolution, GameError> {
         let est = DetectionEstimator::new(working, bank, self.config.detection);
         let ishm = Ishm::new(IshmConfig {
             epsilon: self.config.epsilon,
             initial_thresholds: warm.and_then(|w| w.thresholds.clone()),
             max_level: strategy.level_cap(),
+            eval_budget,
             ..Default::default()
         });
 
@@ -360,6 +479,7 @@ impl OapSolver {
             stats: outcome.stats,
             cache,
             strategy,
+            degrade: None,
         })
     }
 }
@@ -637,6 +757,104 @@ mod tests {
                 second.cache.state_hits,
                 first.cache.state_hits
             );
+        }
+    }
+
+    #[test]
+    fn generous_work_budget_is_bit_identical_to_unbudgeted() {
+        let spec = random_game(&RandomGameConfig::default(), 43);
+        let base = SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        let plain = OapSolver::new(base.clone()).solve(&spec).unwrap();
+        assert_eq!(plain.degrade, None);
+        let budgeted = OapSolver::new(SolverConfig {
+            work_budget: Some(plain.stats.thresholds_explored + 1),
+            ..base
+        })
+        .solve(&spec)
+        .unwrap();
+        assert_eq!(budgeted.degrade, None);
+        assert_eq!(plain.loss.to_bits(), budgeted.loss.to_bits());
+        assert_eq!(plain.policy.thresholds, budgeted.policy.thresholds);
+        assert_eq!(plain.policy.orders, budgeted.policy.orders);
+        assert_eq!(plain.policy.probs, budgeted.policy.probs);
+        assert_eq!(plain.strategy, budgeted.strategy);
+    }
+
+    #[test]
+    fn exhausted_ladder_commits_feasible_truncated_policy() {
+        let spec = random_game(&RandomGameConfig::default(), 47);
+        let sol = OapSolver::new(SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            work_budget: Some(1),
+            ..Default::default()
+        })
+        .solve(&spec)
+        .unwrap();
+        // Budget 1 admits only the start-vector evaluation on every rung,
+        // so the ladder bottoms out on the decomposed tier and truncates —
+        // but still commits a feasible policy.
+        assert_eq!(sol.degrade, Some(DegradeReason::Truncated));
+        assert!(sol.stats.budget_exhausted);
+        assert!(matches!(sol.strategy, SolveStrategy::Decomposed { .. }));
+        assert!(sol.loss.is_finite());
+        let psum: f64 = sol.policy.probs.iter().sum();
+        assert!((psum - 1.0).abs() < 1e-6);
+        assert_eq!(sol.policy.thresholds.len(), spec.n_types());
+    }
+
+    #[test]
+    fn every_budget_yields_a_feasible_policy_with_consistent_degrade() {
+        let spec = random_game(&RandomGameConfig::default(), 53);
+        let base = SolverConfig {
+            n_samples: 60,
+            epsilon: 0.25,
+            ..Default::default()
+        };
+        let plain = OapSolver::new(base.clone()).solve(&spec).unwrap();
+        for budget in 1..=plain.stats.thresholds_explored + 1 {
+            let sol = OapSolver::new(SolverConfig {
+                work_budget: Some(budget),
+                ..base.clone()
+            })
+            .solve(&spec)
+            .unwrap();
+            assert!(sol.loss.is_finite(), "budget {budget}");
+            let psum: f64 = sol.policy.probs.iter().sum();
+            assert!((psum - 1.0).abs() < 1e-6, "budget {budget}");
+            // degrade is recorded exactly when the committed rung either
+            // sits below the plan or ran out of budget itself.
+            match sol.degrade {
+                None => {
+                    assert!(!sol.stats.budget_exhausted, "budget {budget}");
+                    assert_eq!(sol.strategy, plain.strategy, "budget {budget}");
+                }
+                Some(DegradeReason::Degraded { tiers }) => {
+                    assert!(tiers >= 1, "budget {budget}");
+                    assert!(!sol.stats.budget_exhausted, "budget {budget}");
+                    assert_ne!(sol.strategy, plain.strategy, "budget {budget}");
+                }
+                Some(DegradeReason::Truncated) => {
+                    assert!(sol.stats.budget_exhausted, "budget {budget}");
+                }
+                Some(DegradeReason::KeptIncumbent) => {
+                    panic!("solver never records KeptIncumbent (budget {budget})")
+                }
+            }
+            // Budgeted runs are reproducible.
+            let again = OapSolver::new(SolverConfig {
+                work_budget: Some(budget),
+                ..base.clone()
+            })
+            .solve(&spec)
+            .unwrap();
+            assert_eq!(sol.loss.to_bits(), again.loss.to_bits(), "budget {budget}");
+            assert_eq!(sol.degrade, again.degrade, "budget {budget}");
+            assert_eq!(sol.policy.thresholds, again.policy.thresholds);
         }
     }
 

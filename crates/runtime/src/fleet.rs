@@ -26,13 +26,17 @@
 //! counters (excluded from fingerprints) change.
 
 use crate::service::{AuditService, RuntimeConfig, ServiceState};
+use crate::supervisor::{
+    panic_message, FaultInjector, FaultPlan, RetryPolicy, TenantFailure, TenantHealth,
+};
 use crate::telemetry::{Fnv, RuntimeReport};
 use audit_game::detection::{SharedCacheStats, SharedPalCache};
 use audit_game::error::GameError;
 use audit_game::scenario::Scenario;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// One tenant of the fleet: a named scenario instance with its own
@@ -56,6 +60,12 @@ pub struct FleetConfig {
     /// Share one prefix-state exchange across all tenants' solvers (see
     /// module docs). Bit-identical on or off.
     pub share_caches: bool,
+    /// Deterministic fault plan (see [`crate::supervisor::FaultPlan`]).
+    /// Empty by default: no injectors are attached and the run is
+    /// bit-identical to the pre-supervisor scheduler.
+    pub fault_plan: FaultPlan,
+    /// Quarantine retry/backoff policy for failed tenants.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FleetConfig {
@@ -63,6 +73,8 @@ impl Default for FleetConfig {
         Self {
             workers: 1,
             share_caches: true,
+            fault_plan: FaultPlan::new(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -82,6 +94,11 @@ pub struct FleetTenantReport {
     /// Wall-clock milliseconds of each epoch advance (rounds 1..).
     /// **Excluded from the fingerprint.**
     pub epoch_millis: Vec<f64>,
+    /// The supervisor's verdict on the tenant: healthy, recovered after
+    /// quarantine, or permanently failed. Healthy tenants contribute
+    /// nothing extra to the fingerprint, keeping fault-free fleet
+    /// fingerprints bit-identical to the pre-supervisor encoding.
+    pub health: TenantHealth,
 }
 
 /// Aggregate outcome of one fleet run.
@@ -127,13 +144,65 @@ impl FleetReport {
             h.word(i as u64);
             h.bytes(t.tenant.as_bytes());
             h.word(t.report.fingerprint());
+            // Healthy folds nothing: fault-free fingerprints are
+            // bit-identical to the pre-supervisor encoding.
+            t.health.fold(&mut h);
         }
         h.finish()
+    }
+
+    /// Names of the tenants the supervisor judged [`TenantHealth::Healthy`].
+    pub fn healthy_names(&self) -> Vec<String> {
+        self.tenants
+            .iter()
+            .filter(|t| t.health.is_healthy())
+            .map(|t| t.tenant.clone())
+            .collect()
+    }
+
+    /// Fingerprint restricted to the named tenants (original tenant
+    /// indices included, so the subset hash of a faulted run can be
+    /// compared against the *same subset* of a fault-free run).
+    pub fn subset_fingerprint(&self, names: &[String]) -> u64 {
+        let mut h = Fnv::new();
+        let included: Vec<(usize, &FleetTenantReport)> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| names.contains(&t.tenant))
+            .collect();
+        h.word(included.len() as u64);
+        for (i, t) in included {
+            h.word(i as u64);
+            h.bytes(t.tenant.as_bytes());
+            h.word(t.report.fingerprint());
+        }
+        h.finish()
+    }
+
+    /// Fingerprint over the healthy subset only — the quantity the chaos
+    /// harness diffs against a fault-free run to prove fault isolation:
+    /// tenants the plan never touched are bit-identical.
+    pub fn healthy_fingerprint(&self) -> u64 {
+        self.subset_fingerprint(&self.healthy_names())
     }
 
     /// Committed re-solves summed across tenants.
     pub fn total_resolves(&self) -> usize {
         self.tenants.iter().map(|t| t.report.resolves()).sum()
+    }
+
+    /// Tenants per health key: `(healthy, recovered, failed)`.
+    pub fn health_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for t in &self.tenants {
+            match t.health {
+                TenantHealth::Healthy => counts.0 += 1,
+                TenantHealth::Recovered { .. } => counts.1 += 1,
+                TenantHealth::Failed { .. } => counts.2 += 1,
+            }
+        }
+        counts
     }
 }
 
@@ -142,10 +211,79 @@ struct TenantRun {
     service: AuditService,
     epochs: usize,
     state: Option<ServiceState>,
+    /// Clone of the state after the last successful round — the
+    /// checkpoint a quarantined tenant resumes from. `None` until the
+    /// cold start succeeds (a cold-start failure retries from scratch).
+    last_good: Option<ServiceState>,
     stream: Vec<Vec<u64>>,
     start_millis: f64,
     epoch_millis: Vec<f64>,
-    error: Option<GameError>,
+    /// Every failure observed so far, in order.
+    failures: Vec<TenantFailure>,
+    /// Failures consumed against [`RetryPolicy::max_retries`].
+    attempts: usize,
+    /// `Some(r)`: quarantined until scheduler round `r`.
+    quarantined_until: Option<usize>,
+    /// Terminal failure: `(round, cause)`. Set once retries are spent.
+    failed: Option<(usize, String)>,
+}
+
+impl TenantRun {
+    /// Does this tenant still want scheduler rounds?
+    fn is_pending(&self) -> bool {
+        self.failed.is_none()
+            && (self.quarantined_until.is_some()
+                || match &self.state {
+                    None => true,
+                    Some(st) => st.epoch < self.epochs,
+                })
+    }
+
+    /// Record one failure: quarantine with deterministic backoff while
+    /// retries remain, otherwise fail the tenant terminally.
+    fn record_failure(&mut self, round: usize, cause: String, retry: &RetryPolicy) {
+        self.attempts += 1;
+        if self.attempts > retry.max_retries {
+            self.failures.push(TenantFailure {
+                round,
+                cause: cause.clone(),
+                resume_round: None,
+            });
+            self.failed = Some((round, cause));
+        } else {
+            let resume = retry.resume_round(round, self.attempts);
+            self.failures.push(TenantFailure {
+                round,
+                cause,
+                resume_round: Some(resume),
+            });
+            self.quarantined_until = Some(resume);
+        }
+    }
+
+    /// The supervisor's verdict once scheduling is over.
+    fn health(&self) -> TenantHealth {
+        match &self.failed {
+            Some((round, cause)) => TenantHealth::Failed {
+                round: *round,
+                cause: cause.clone(),
+                failures: self.failures.clone(),
+            },
+            None if self.failures.is_empty() => TenantHealth::Healthy,
+            None => TenantHealth::Recovered {
+                failures: self.failures.clone(),
+            },
+        }
+    }
+}
+
+/// Lock a tenant slot, recovering a poisoned mutex instead of aborting:
+/// the only code that can panic while holding the guard is tenant work,
+/// which is wrapped in `catch_unwind`, so a poisoned slot still holds a
+/// consistent `TenantRun` (the failure was already recorded or will be
+/// visible as a missing state).
+fn lock_slot(slot: &Mutex<TenantRun>) -> MutexGuard<'_, TenantRun> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// The multi-tenant scheduler. See the module docs for the round model
@@ -172,11 +310,19 @@ impl FleetService {
         self.tenants.is_empty()
     }
 
-    /// Run every tenant to its horizon and aggregate the reports. The
-    /// first error (by tenant order) aborts the run.
+    /// Run every tenant to its horizon and aggregate the reports.
+    ///
+    /// Tenant failures — panics or typed errors, injected or organic — no
+    /// longer abort the fleet. The failing tenant is quarantined and
+    /// retried from its last good state under [`FleetConfig::retry`];
+    /// once retries are spent it is marked [`TenantHealth::Failed`] and
+    /// the rest of the fleet keeps running. `Err` is reserved for fleet-
+    /// level invariant breaches, none of which currently exist.
     pub fn run(&self) -> Result<FleetReport, GameError> {
         let t0 = Instant::now();
         let shared = self.config.share_caches.then(SharedPalCache::new);
+        let plan = Arc::new(self.config.fault_plan.clone());
+        let retry = self.config.retry;
         let runs: Vec<Mutex<TenantRun>> = self
             .tenants
             .iter()
@@ -186,28 +332,58 @@ impl FleetService {
                     Some(cache) => service.with_shared_cache(cache.clone()),
                     None => service,
                 };
+                let service = if plan.is_empty() {
+                    service
+                } else {
+                    service.with_injector(FaultInjector::new(Arc::clone(&plan), &t.name))
+                };
                 Mutex::new(TenantRun {
                     service,
                     epochs: t.config.epochs,
                     state: None,
+                    last_good: None,
                     stream: Vec::new(),
                     start_millis: 0.0,
                     epoch_millis: Vec::new(),
-                    error: None,
+                    failures: Vec::new(),
+                    attempts: 0,
+                    quarantined_until: None,
+                    failed: None,
                 })
             })
             .collect();
 
         let n = runs.len();
-        let rounds = 1 + self
+        let max_epochs = self
             .tenants
             .iter()
             .map(|t| t.config.epochs)
             .max()
             .unwrap_or(0);
+        // Hard cap on scheduler rounds: the fault-free schedule plus the
+        // worst-case quarantine delay any retry ladder can add. Purely a
+        // livelock backstop — the loop normally exits when no tenant is
+        // pending.
+        let round_cap = 1 + max_epochs + retry.worst_case_delay();
         let workers = self.config.workers.max(1).min(n.max(1));
-        for round in 0..rounds {
-            if n == 0 {
+        let mut round = 0usize;
+        loop {
+            if n == 0 || !runs.iter().any(|slot| lock_slot(slot).is_pending()) {
+                break;
+            }
+            if round > round_cap {
+                for slot in &runs {
+                    let mut run = lock_slot(slot);
+                    if run.is_pending() {
+                        let cause = "scheduler round cap exceeded".to_string();
+                        run.failures.push(TenantFailure {
+                            round,
+                            cause: cause.clone(),
+                            resume_round: None,
+                        });
+                        run.failed = Some((round, cause));
+                    }
+                }
                 break;
             }
             let cursor = AtomicUsize::new(0);
@@ -218,54 +394,94 @@ impl FleetService {
                         if i >= n {
                             break;
                         }
-                        let mut guard = runs[i].lock().expect("tenant slot poisoned");
+                        let mut guard = lock_slot(&runs[i]);
                         let run = &mut *guard;
-                        if run.error.is_some() {
+                        if run.failed.is_some() {
                             continue;
                         }
+                        if let Some(resume) = run.quarantined_until {
+                            if round < resume {
+                                continue; // serving its backoff delay
+                            }
+                            // Resume from the last good state. After a
+                            // cold-start failure this is `None` and the
+                            // tenant cold-starts again.
+                            run.quarantined_until = None;
+                            run.state = run.last_good.clone();
+                        }
                         let t = Instant::now();
-                        if round == 0 {
-                            match run
-                                .service
-                                .start_state()
-                                .and_then(|st| run.service.full_alert_stream().map(|s| (st, s)))
-                            {
-                                Ok((st, stream)) => {
+                        if run.state.is_none() {
+                            // Cold start (fresh tenant or cold-start retry).
+                            let service = &run.service;
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                service
+                                    .start_state()
+                                    .and_then(|st| service.full_alert_stream().map(|s| (st, s)))
+                            }));
+                            match result {
+                                Ok(Ok((st, stream))) => {
                                     run.state = Some(st);
+                                    run.last_good = run.state.clone();
                                     run.stream = stream;
                                     run.start_millis = millis_since(t);
                                 }
-                                Err(e) => run.error = Some(e),
+                                Ok(Err(e)) => run.record_failure(round, e.to_string(), &retry),
+                                Err(payload) => {
+                                    run.record_failure(round, panic_message(payload), &retry)
+                                }
                             }
                         } else {
-                            let Some(state) = run.state.as_mut() else {
-                                continue;
-                            };
-                            if state.epoch >= run.epochs {
+                            let epoch = run.state.as_ref().map(|st| st.epoch).unwrap_or(0);
+                            if epoch >= run.epochs {
                                 continue; // tenant already at its horizon
                             }
-                            let stop = state.epoch + 1;
-                            match run.service.advance_with_stream(state, stop, &run.stream) {
-                                Ok(()) => run.epoch_millis.push(millis_since(t)),
-                                Err(e) => run.error = Some(e),
+                            // Move the state into the unwind scope: if the
+                            // advance panics, the torn state is dropped
+                            // with the closure and the tenant resumes from
+                            // `last_good`.
+                            let state = run.state.take().expect("checked above");
+                            let stop = epoch + 1;
+                            let service = &run.service;
+                            let stream = &run.stream;
+                            let result = catch_unwind(AssertUnwindSafe(move || {
+                                let mut state = state;
+                                service
+                                    .advance_with_stream(&mut state, stop, stream)
+                                    .map(|()| state)
+                            }));
+                            match result {
+                                Ok(Ok(state)) => {
+                                    run.state = Some(state);
+                                    run.last_good = run.state.clone();
+                                    run.epoch_millis.push(millis_since(t));
+                                }
+                                Ok(Err(e)) => run.record_failure(round, e.to_string(), &retry),
+                                Err(payload) => {
+                                    run.record_failure(round, panic_message(payload), &retry)
+                                }
                             }
                         }
                     });
                 }
             });
+            round += 1;
         }
 
-        // Assemble in tenant order; surface the first error.
+        // Assemble in tenant order. Failed tenants keep whatever partial
+        // report their last good state supports; tenants that never
+        // cold-started get an empty report.
         let mut tenants = Vec::with_capacity(n);
         let mut latencies: Vec<f64> = Vec::new();
         let mut total_periods = 0usize;
         for (spec, slot) in self.tenants.iter().zip(runs) {
-            let run = slot.into_inner().expect("tenant slot poisoned");
-            if let Some(e) = run.error {
-                return Err(e);
-            }
-            let state = run.state.expect("tenant never started");
-            let report = run.service.report(state);
+            let run = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let health = run.health();
+            let report = match run.state.or(run.last_good) {
+                Some(state) => run.service.report(state),
+                None => empty_report(spec),
+            };
             total_periods += report.total_periods();
             let per_epoch = spec.config.periods_per_epoch.max(1) as f64;
             latencies.extend(run.epoch_millis.iter().map(|&m| m / per_epoch));
@@ -274,6 +490,7 @@ impl FleetService {
                 report,
                 start_millis: run.start_millis,
                 epoch_millis: run.epoch_millis,
+                health,
             });
         }
         let wall_millis = millis_since(t0);
@@ -294,6 +511,20 @@ impl FleetService {
             latency_p99_millis: percentile(&latencies, 99.0),
             shared_cache: shared.map(|s| s.stats()).unwrap_or_default(),
         })
+    }
+}
+
+/// Report for a tenant that never completed a cold start: the identity
+/// header is real, everything else is empty.
+fn empty_report(spec: &TenantSpec) -> RuntimeReport {
+    RuntimeReport {
+        scenario: spec.scenario.key().to_string(),
+        seed: spec.config.seed,
+        periods_per_epoch: spec.config.periods_per_epoch,
+        initial_objective: 0.0,
+        initial_solve_millis: 0.0,
+        engine_cache: Default::default(),
+        epochs: Vec::new(),
     }
 }
 

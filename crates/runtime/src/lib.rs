@@ -38,7 +38,14 @@
 //!   rates, gap to the predicted `Pal`, drift statistics, solve latency,
 //!   epochs-since-resolve) with a deterministic fingerprint: reruns and
 //!   different thread counts produce bit-identical logs (wall-clock
-//!   fields are excluded from the fingerprint).
+//!   fields are excluded from the fingerprint);
+//! * [`supervisor`] — deterministic fault injection
+//!   ([`supervisor::FaultPlan`] / [`supervisor::FaultInjector`]), the
+//!   tenant quarantine record ([`supervisor::TenantHealth`]), and
+//!   round-based retry backoff ([`supervisor::RetryPolicy`]): every
+//!   failure the fleet survives is planned, fingerprintable, and
+//!   replayable, and tenants untouched by the plan stay bit-identical
+//!   to a fault-free run.
 //!
 //! Everything is deterministic given the configuration seed; the umbrella
 //! crate (`alert_audit::telemetry`) renders the telemetry as JSON and the
@@ -50,10 +57,18 @@ pub mod checkpoint;
 pub mod fleet;
 pub mod online;
 pub mod service;
+pub mod supervisor;
 pub mod telemetry;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint, LoadedCheckpoint};
+pub use checkpoint::{
+    load_checkpoint, recover_checkpoint, restore_or_cold, save_checkpoint, LoadedCheckpoint,
+    RecoveryReport, RecoverySource,
+};
 pub use fleet::{FleetConfig, FleetReport, FleetService, FleetTenantReport, TenantSpec};
 pub use online::{DriftConfig, OnlineFit};
 pub use service::{warm_start_rescaled, AuditService, RuntimeConfig, ServiceState};
+pub use supervisor::{
+    corrupt_file, panic_message, FaultInjector, FaultPlan, FaultSite, RetryPolicy, TenantFailure,
+    TenantHealth,
+};
 pub use telemetry::{EpochTelemetry, ResolveStats, RuntimeReport};

@@ -148,18 +148,41 @@ impl OnlineFit {
     /// Worst-type KS distance of the recent windows against the committed
     /// count models — the drift statistic the gate thresholds.
     pub fn max_ks(&self, models: &[Arc<dyn CountDistribution>]) -> f64 {
+        self.max_ks_guarded(models).0
+    }
+
+    /// [`OnlineFit::max_ks`] with a degeneracy guard: a per-type statistic
+    /// poisoned by non-finite model mass (e.g. a count model whose fit
+    /// collapsed to NaN parameters under a degenerate window or an
+    /// all-zero epoch) is clamped to 0.0 ("no evidence of drift") instead
+    /// of leaking NaN into the gate, and the returned flag records that
+    /// the clamp fired so telemetry can surface it. The mass check is
+    /// explicit because [`ks_statistic`]'s `f64::max` fold silently
+    /// *swallows* NaN distances — without it a degenerate model would
+    /// masquerade as a perfect fit. An empty window contributes 0.0
+    /// without raising the flag (no data is not degeneracy).
+    pub fn max_ks_guarded(&self, models: &[Arc<dyn CountDistribution>]) -> (f64, bool) {
         assert_eq!(models.len(), self.windows.len(), "arity mismatch");
-        self.windows
+        let mut degenerate = false;
+        let max = self
+            .windows
             .iter()
             .zip(models)
             .map(|(w, m)| {
                 if w.is_empty() {
-                    0.0
+                    return 0.0;
+                }
+                let ks = ks_statistic(w, m.as_ref());
+                let total_mass = m.cdf(m.support_max());
+                if ks.is_finite() && total_mass.is_finite() {
+                    ks
                 } else {
-                    ks_statistic(w, m.as_ref())
+                    degenerate = true;
+                    0.0
                 }
             })
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max);
+        (max, degenerate)
     }
 
     /// Refit one count model per type from the recent window (moment-fit
@@ -293,5 +316,45 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let mut fit = OnlineFit::new(2, 4);
         fit.observe(&[1, 2, 3]);
+    }
+
+    /// A committed model whose mass is NaN: the KS statistic against any
+    /// window is non-finite, which must clamp to "no drift" + flag, not
+    /// leak NaN into the gate comparison (NaN > threshold is always
+    /// false, which would silently disable max-staleness accounting in
+    /// telemetry and poison fingerprints).
+    struct NanModel;
+    impl CountDistribution for NanModel {
+        fn pmf(&self, _n: u64) -> f64 {
+            f64::NAN
+        }
+        fn support_max(&self) -> u64 {
+            4
+        }
+    }
+
+    #[test]
+    fn degenerate_ks_clamps_to_no_drift_and_flags() {
+        let mut fit = OnlineFit::new(2, 4);
+        for _ in 0..4 {
+            fit.observe(&[0, 3]);
+        }
+        let models: Vec<Arc<dyn CountDistribution>> =
+            vec![Arc::new(NanModel), Arc::new(Poisson::new(3.0))];
+        let (ks, degenerate) = fit.max_ks_guarded(&models);
+        assert!(degenerate, "NaN KS must raise the degeneracy flag");
+        assert!(ks.is_finite(), "clamped statistic stays finite");
+        // The healthy type still contributes its real statistic.
+        let healthy_only: Vec<Arc<dyn CountDistribution>> =
+            vec![Arc::new(Poisson::new(1.0)), Arc::new(Poisson::new(3.0))];
+        let (ks2, flag2) = fit.max_ks_guarded(&healthy_only);
+        assert!(!flag2);
+        assert!(ks2 > 0.0);
+        assert_eq!(fit.max_ks(&healthy_only).to_bits(), ks2.to_bits());
+        // Empty windows report 0.0 without claiming degeneracy.
+        let empty = OnlineFit::new(2, 4);
+        let (ks3, flag3) = empty.max_ks_guarded(&models);
+        assert_eq!(ks3, 0.0);
+        assert!(!flag3, "no data is not degeneracy");
     }
 }

@@ -32,6 +32,7 @@
 //! excluded from the telemetry fingerprint.
 
 use crate::online::{DriftConfig, OnlineFit};
+use crate::supervisor::{FaultInjector, FaultSite};
 use crate::telemetry::{EpochTelemetry, RuntimeReport};
 use audit_game::attacker::AttackerModel;
 use audit_game::detection::{CacheStats, DetectionEstimator, PalEngine, SharedPalCache};
@@ -41,13 +42,14 @@ use audit_game::model::GameSpec;
 use audit_game::payoff::action_utility;
 use audit_game::persist::PersistError;
 use audit_game::scenario::Scenario;
-use audit_game::solver::{InnerKind, OapSolver, SolverConfig, WarmStart};
+use audit_game::solver::{DegradeReason, InnerKind, OapSolver, SolverConfig, WarmStart};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use stochastics::rng::stream_rng;
+use stochastics::snapshot::SnapshotError;
 
 /// High bits of the execution-randomness stream ids: period `i` executes
 /// with `stream_rng(seed, EXEC_STREAM_BASE ^ i)`. Disjoint by construction
@@ -206,6 +208,7 @@ pub struct AuditService {
     scenario: Arc<dyn Scenario>,
     config: RuntimeConfig,
     shared: Option<SharedPalCache>,
+    injector: Option<FaultInjector>,
 }
 
 impl AuditService {
@@ -217,7 +220,24 @@ impl AuditService {
             scenario,
             config,
             shared: None,
+            injector: None,
         }
+    }
+
+    /// Attach a deterministic fault injector (see [`crate::supervisor`]).
+    /// The service consults it at every named [`FaultSite`]; with no
+    /// injector — or an empty plan — every consultation is free of side
+    /// effects and the run is bit-identical to an uninstrumented one.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Injector-fires check for one `(round, site)`, a no-op without one.
+    fn fault(&self, round: usize, site: FaultSite) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.fires(round, site))
     }
 
     /// Attach a shared prefix-state exchange: every solve and
@@ -286,7 +306,23 @@ impl AuditService {
     /// process. See [`crate::checkpoint`] for the on-disk layout.
     pub fn checkpoint(&self, state: &ServiceState, dir: &Path) -> Result<(), GameError> {
         crate::checkpoint::save_checkpoint(dir, self.scenario.key(), &self.config, state)
-            .map_err(GameError::from)
+            .map_err(GameError::from)?;
+        // Injected torn write: the save itself succeeded (and rotated the
+        // previous pair into `last_good/`), then the primary state file
+        // rots on disk. Keyed by the state epoch, since checkpoints are
+        // taken outside the round loop.
+        if self.fault(state.epoch, FaultSite::CheckpointWrite) {
+            crate::supervisor::corrupt_file(
+                &dir.join(crate::checkpoint::STATE_FILE),
+                state.epoch as u64,
+            )
+            .map_err(|e| {
+                GameError::Persist(PersistError::Snapshot(SnapshotError::Io(format!(
+                    "injected checkpoint-write fault: {e}"
+                ))))
+            })?;
+        }
+        Ok(())
     }
 
     /// Reload a checkpoint written by [`AuditService::checkpoint`],
@@ -312,7 +348,14 @@ impl AuditService {
     /// The solver every solve of this service uses, joined to the shared
     /// exchange when one is attached.
     fn solver(&self) -> OapSolver {
-        let solver = OapSolver::new(self.config.solver.clone());
+        self.solver_for(self.config.solver.clone())
+    }
+
+    /// As [`AuditService::solver`], under an overridden solver config —
+    /// the injected budget-exhaustion fault re-solves with a one-
+    /// evaluation work budget through this seam.
+    fn solver_for(&self, cfg: SolverConfig) -> OapSolver {
+        let solver = OapSolver::new(cfg);
         match &self.shared {
             Some(shared) => solver.with_shared_cache(shared.clone()),
             None => solver,
@@ -357,6 +400,13 @@ impl AuditService {
 
     /// Cold start: build and solve the scenario, arm the drift tracker.
     fn start(&self) -> Result<ServiceState, GameError> {
+        // Round 0 is the cold start in the fault plan's round keying.
+        if self.fault(0, FaultSite::SolverPanic) {
+            panic!(
+                "injected fault: solver-panic at cold start of tenant '{}'",
+                self.injector.as_ref().map_or("", |i| i.tenant())
+            );
+        }
         let cfg = &self.config;
         let spec = self.scenario.build(cfg.seed)?;
         spec.validate()?;
@@ -407,8 +457,39 @@ impl AuditService {
         let cfg = &self.config;
         let epoch = st.epoch;
         let n = st.spec.n_types();
-        let solver = self.solver();
         let model = self.scenario.attacker_model();
+
+        // --- injected faults (round r ≥ 1 runs epoch r − 1) ---
+        // All consultations happen up front, in a fixed order, so a fault
+        // plan perturbs exactly the epoch it names regardless of which
+        // branch the epoch later takes. Each fires at most once per plan
+        // entry (see `FaultInjector::fires`).
+        let round = epoch + 1;
+        if self.fault(round, FaultSite::SolverPanic) {
+            panic!(
+                "injected fault: solver-panic in epoch {epoch} of tenant '{}'",
+                self.injector.as_ref().map_or("", |i| i.tenant())
+            );
+        }
+        if self.fault(round, FaultSite::MalformedEpoch) {
+            // A truncated period row, surfaced through the same typed
+            // rejection real malformed input gets below.
+            return Err(GameError::MalformedStream {
+                period: epoch * cfg.periods_per_epoch,
+                expected: n,
+                got: n.saturating_sub(1),
+            });
+        }
+        let empty_epoch = self.fault(round, FaultSite::EmptyEpoch);
+        let budget_fault = self.fault(round, FaultSite::BudgetExhaust);
+        let solve_fault = self.fault(round, FaultSite::SolveError);
+        let solver = if budget_fault {
+            let mut scfg = self.config.solver.clone();
+            scfg.work_budget = Some(1);
+            self.solver_for(scfg)
+        } else {
+            self.solver()
+        };
 
         // --- execute the committed policy, one period at a time ---
         let mut seen = vec![0u64; n];
@@ -421,7 +502,31 @@ impl AuditService {
         let damage_model = model.damage_model();
         for period in 0..cfg.periods_per_epoch {
             let period_index = epoch * cfg.periods_per_epoch + period;
-            let row = &stream[period_index];
+            // Malformed input is rejected with a typed error before any
+            // state mutates — an out-of-arity row would otherwise panic
+            // on the per-type index below (or silently drop types).
+            let raw = stream.get(period_index).ok_or(GameError::MalformedStream {
+                period: period_index,
+                expected: n,
+                got: 0,
+            })?;
+            if raw.len() != n {
+                return Err(GameError::MalformedStream {
+                    period: period_index,
+                    expected: n,
+                    got: raw.len(),
+                });
+            }
+            // An injected empty epoch models an upstream TDMT outage: the
+            // feed delivers, but every count is zero. Everything else —
+            // attack traffic, execution randomness — is untouched.
+            let zero_row;
+            let row = if empty_epoch {
+                zero_row = vec![0u64; n];
+                &zero_row
+            } else {
+                raw
+            };
             let mut alerts = Vec::with_capacity(row.iter().map(|&z| z as usize).sum());
             for (t, &z) in row.iter().enumerate() {
                 seen[t] += z;
@@ -550,20 +655,27 @@ impl AuditService {
         }
 
         // --- drift gate ---
-        let max_ks = st.fit.max_ks(&st.spec.distributions);
+        let (max_ks, ks_degenerate) = st.fit.max_ks_guarded(&st.spec.distributions);
         let drift = st.fit.window_full() && max_ks > cfg.drift.ks_threshold;
         let stale = cfg
             .drift
             .max_stale_epochs
             .is_some_and(|m| st.epochs_since_resolve >= m);
         let gate_age = st.epochs_since_resolve;
-        let resolve = (drift && st.epochs_since_resolve >= cfg.drift.cooldown_epochs) || stale;
+        // Injected solve faults force a re-solve attempt this epoch so
+        // the degradation path they target actually runs.
+        let resolve = (drift && st.epochs_since_resolve >= cfg.drift.cooldown_epochs)
+            || stale
+            || budget_fault
+            || solve_fault;
 
         let mut solve_explored = None;
         let mut solve_millis = None;
         let mut cold_objective = None;
         let mut cold_explored = None;
         let mut cold_millis = None;
+        let mut degrade = None;
+        let mut resolved = false;
         if resolve {
             let mut new_spec = st.spec.clone();
             // Drift reacts to the recent window; a pure staleness
@@ -587,19 +699,40 @@ impl AuditService {
             }
             let warm = warm_start_rescaled(&st.policy, &st.spec, &new_spec);
             let t = Instant::now();
-            let committed = if cfg.warm_start {
-                solver.solve_warm(&new_spec, Some(&warm))?
+            let committed = if solve_fault {
+                Err(GameError::InvalidConfig(
+                    "injected fault: solve-error on the committed re-solve".into(),
+                ))
+            } else if cfg.warm_start {
+                solver.solve_warm(&new_spec, Some(&warm))
             } else {
-                solver.solve(&new_spec)?
+                solver.solve(&new_spec)
             };
-            solve_millis = Some(millis_since(t));
-            solve_explored = Some(committed.stats.thresholds_explored);
-            st.engine_cache.absorb(&committed.cache);
-            st.spec = new_spec;
-            st.policy = committed.policy;
-            st.loss = committed.loss;
-            st.predicted = predicted_pal(&st.spec, &st.policy, &cfg.solver, self.shared.as_ref());
-            st.epochs_since_resolve = 0;
+            match committed {
+                Ok(committed) => {
+                    solve_millis = Some(millis_since(t));
+                    solve_explored = Some(committed.stats.thresholds_explored);
+                    degrade = committed.degrade;
+                    st.engine_cache.absorb(&committed.cache);
+                    st.spec = new_spec;
+                    st.policy = committed.policy;
+                    st.loss = committed.loss;
+                    st.predicted =
+                        predicted_pal(&st.spec, &st.policy, &cfg.solver, self.shared.as_ref());
+                    st.epochs_since_resolve = 0;
+                    resolved = true;
+                }
+                Err(_) => {
+                    // The final rung of the degradation ladder: the
+                    // re-solve failed outright, so keep serving on the
+                    // incumbent policy and spec. The incumbent stays
+                    // feasible (it was committed under the same budget),
+                    // its age keeps counting so the staleness gate will
+                    // retry, and the telemetry records the rung.
+                    degrade = Some(DegradeReason::KeptIncumbent);
+                    st.epochs_since_resolve += 1;
+                }
+            }
         } else {
             st.epochs_since_resolve += 1;
         }
@@ -615,7 +748,7 @@ impl AuditService {
             pal_gap,
             max_ks,
             drift,
-            resolved: resolve,
+            resolved,
             epochs_since_resolve: gate_age,
             objective: st.loss,
             thresholds: st.policy.thresholds.clone(),
@@ -628,6 +761,8 @@ impl AuditService {
             cold_objective,
             cold_explored,
             cold_millis,
+            degrade,
+            ks_degenerate,
         });
         st.epoch += 1;
         Ok(())

@@ -7,6 +7,7 @@
 //! "same config ⇒ same fingerprint" across reruns and thread counts.
 
 use audit_game::detection::CacheStats;
+use audit_game::solver::DegradeReason;
 use serde::{Deserialize, Serialize};
 
 /// Telemetry of one epoch of the service loop.
@@ -73,6 +74,16 @@ pub struct EpochTelemetry {
     /// Shadow cold solve wall-clock milliseconds. **Excluded from the
     /// fingerprint.**
     pub cold_millis: Option<f64>,
+    /// How the committed re-solve degraded under its work budget, when it
+    /// did: ladder fallback ([`DegradeReason::Degraded`]), exhausted floor
+    /// ([`DegradeReason::Truncated`]), or solve failure absorbed by
+    /// keeping the incumbent ([`DegradeReason::KeptIncumbent`]). `None`
+    /// on epochs with no re-solve or an undegraded one.
+    pub degrade: Option<DegradeReason>,
+    /// Whether the drift gate's KS statistic was clamped this epoch
+    /// because a committed count model carried non-finite mass (see
+    /// [`crate::online::OnlineFit::max_ks_guarded`]).
+    pub ks_degenerate: bool,
 }
 
 /// The full telemetry log of one service run.
@@ -164,6 +175,16 @@ impl RuntimeReport {
             h.word(e.cold_objective.is_some() as u64);
             h.word(e.cold_objective.map(f64::to_bits).unwrap_or(0));
             h.word(e.cold_explored.map(|n| n as u64 + 1).unwrap_or(0));
+            // Robustness fields hash only when set: a fault-free,
+            // unbudgeted run carries none of them and its fingerprint is
+            // bit-identical to the pre-supervisor encoding.
+            if let Some(d) = &e.degrade {
+                h.word(0xDE64_4ADE);
+                h.word(d.code());
+            }
+            if e.ks_degenerate {
+                h.word(0x6B73_6E61);
+            }
         }
         h.finish()
     }
@@ -276,6 +297,8 @@ mod tests {
             cold_objective: None,
             cold_explored: None,
             cold_millis: None,
+            degrade: None,
+            ks_degenerate: false,
         }
     }
 
@@ -317,6 +340,12 @@ mod tests {
             |r: &mut RuntimeReport| r.epochs[0].attacks_detected = 1,
             |r: &mut RuntimeReport| r.epochs[1].attacker_utility = 2.5,
             |r: &mut RuntimeReport| r.epochs[1].auditor_damage = -1.0,
+            |r: &mut RuntimeReport| {
+                r.epochs[1].degrade = Some(DegradeReason::Degraded { tiers: 1 })
+            },
+            |r: &mut RuntimeReport| r.epochs[1].degrade = Some(DegradeReason::Truncated),
+            |r: &mut RuntimeReport| r.epochs[1].degrade = Some(DegradeReason::KeptIncumbent),
+            |r: &mut RuntimeReport| r.epochs[0].ks_degenerate = true,
         ] {
             let mut b = report();
             mutate(&mut b);

@@ -536,10 +536,34 @@ impl Snapshot {
         Ok(index)
     }
 
-    /// Write the container to a file.
+    /// Write the container to a file **atomically**: the bytes land in a
+    /// `<name>.tmp` sibling first, are fsynced, and are then renamed over
+    /// `path` (a single-filesystem rename, atomic on POSIX). An
+    /// interrupted write can therefore never leave a torn snapshot at
+    /// `path` — readers see either the complete previous file or the
+    /// complete new one. The on-disk bytes are identical to a plain
+    /// write, so existing format goldens are unaffected.
     pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+        let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(&self.to_bytes()).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        // Best-effort directory sync so the rename itself is durable; not
+        // all platforms allow opening a directory for sync, so failures
+        // here are ignored rather than surfaced.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Read and validate a container from a file.
@@ -1024,6 +1048,38 @@ mod tests {
             back.section(0xC),
             Err(SnapshotError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn write_to_is_atomic_and_byte_identical_to_to_bytes() {
+        let mut snap = Snapshot::new(3);
+        let mut s = SectionWriter::new();
+        s.put_u64s(&[9, 8, 7]);
+        s.put_str("atomic");
+        snap.add_section(0x2, s);
+
+        let dir = std::env::temp_dir().join(format!("audit-snap-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.snap");
+        // Overwrite an existing (stale) file: the rename must replace it.
+        std::fs::write(&path, b"stale").unwrap();
+        snap.write_to(&path).unwrap();
+
+        // On-disk bytes are exactly the container encoding (no staging
+        // artifacts), and the temp sibling is gone after the rename.
+        assert_eq!(std::fs::read(&path).unwrap(), snap.to_bytes());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        let back = Snapshot::read_from(&path).unwrap();
+        assert_eq!(back.kind, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

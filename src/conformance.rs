@@ -216,6 +216,7 @@ pub fn run_cell(
                 detection: model,
                 dedup_actions: true,
                 threads: 1,
+                work_budget: None,
             })
             .solve(spec)?;
             (sol.loss, sol.policy.thresholds)
@@ -297,6 +298,7 @@ fn run_adaptive_cell(
                 detection: model,
                 dedup_actions: true,
                 threads: 1,
+                work_budget: None,
             },
             drift: DriftConfig {
                 window_periods: 6,

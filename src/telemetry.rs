@@ -10,7 +10,7 @@
 //! content; the embedded `fingerprint` ignores them by construction).
 
 use crate::json::Value;
-use audit_runtime::{EpochTelemetry, FleetReport, RuntimeReport};
+use audit_runtime::{EpochTelemetry, FleetReport, RuntimeReport, TenantFailure, TenantHealth};
 
 /// Render one epoch record.
 fn epoch_to_json(e: &EpochTelemetry) -> Value {
@@ -58,6 +58,45 @@ fn epoch_to_json(e: &EpochTelemetry) -> Value {
     pairs.push(("cold_objective", opt_num(e.cold_objective)));
     pairs.push(("cold_explored", opt_num(e.cold_explored.map(|n| n as f64))));
     pairs.push(("cold_millis", opt_num(e.cold_millis)));
+    pairs.push((
+        "degrade",
+        e.degrade
+            .map(|d| Value::Str(d.key()))
+            .unwrap_or(Value::Null),
+    ));
+    pairs.push(("ks_degenerate", Value::Bool(e.ks_degenerate)));
+    Value::obj(pairs)
+}
+
+/// Render one recorded tenant failure.
+fn failure_to_json(f: &TenantFailure) -> Value {
+    Value::obj([
+        ("round", Value::Num(f.round as f64)),
+        ("cause", Value::Str(f.cause.clone())),
+        (
+            "resume_round",
+            f.resume_round
+                .map(|r| Value::Num(r as f64))
+                .unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+/// Render a tenant's supervisor verdict: its status key plus, for
+/// non-healthy tenants, the failure log (and the terminal round/cause
+/// for failed ones).
+fn health_to_json(h: &TenantHealth) -> Value {
+    let mut pairs: Vec<(&'static str, Value)> = vec![("status", Value::Str(h.key().into()))];
+    if let TenantHealth::Failed { round, cause, .. } = h {
+        pairs.push(("round", Value::Num(*round as f64)));
+        pairs.push(("cause", Value::Str(cause.clone())));
+    }
+    if !h.failures().is_empty() {
+        pairs.push((
+            "failures",
+            Value::Arr(h.failures().iter().map(failure_to_json).collect()),
+        ));
+    }
     Value::obj(pairs)
 }
 
@@ -166,6 +205,18 @@ pub fn fleet_report_to_json(report: &FleetReport) -> Value {
             Value::Str(format!("{:016x}", report.fingerprint())),
         ),
         (
+            "healthy_fingerprint",
+            Value::Str(format!("{:016x}", report.healthy_fingerprint())),
+        ),
+        ("health_counts", {
+            let (healthy, recovered, failed) = report.health_counts();
+            Value::obj([
+                ("healthy", Value::Num(healthy as f64)),
+                ("recovered", Value::Num(recovered as f64)),
+                ("failed", Value::Num(failed as f64)),
+            ])
+        }),
+        (
             "tenant_log",
             Value::Arr(
                 report
@@ -175,6 +226,7 @@ pub fn fleet_report_to_json(report: &FleetReport) -> Value {
                         Value::obj([
                             ("tenant", Value::Str(t.tenant.clone())),
                             ("start_millis", Value::Num(t.start_millis)),
+                            ("health", health_to_json(&t.health)),
                             ("report", report_to_json(&t.report)),
                         ])
                     })

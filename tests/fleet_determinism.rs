@@ -47,6 +47,7 @@ fn fleet_over(keys: &[&str], n: usize, workers: usize, share: bool) -> FleetRepo
         FleetConfig {
             workers,
             share_caches: share,
+            ..FleetConfig::default()
         },
     )
     .run()
